@@ -1,0 +1,69 @@
+//! Microbenchmarks of the communication substrate's collectives,
+//! including the naive vs ring all-reduce ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdm_comm::{Cluster, CollectiveKind};
+use rdm_dense::Mat;
+
+const K: CollectiveKind = CollectiveKind::Other;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast");
+    group.sample_size(20);
+    for &p in &[2usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                Cluster::new(p).run(|ctx| {
+                    let payload = (ctx.rank() == 0).then(|| Mat::zeros(4096, 32));
+                    ctx.broadcast(0, payload, K)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_reduce_naive_vs_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce");
+    group.sample_size(20);
+    let p = 8;
+    group.bench_function("naive_p8", |b| {
+        b.iter(|| {
+            Cluster::new(p).run(|ctx| {
+                ctx.all_reduce_sum(Mat::zeros(1024, 128), K)
+            })
+        })
+    });
+    group.bench_function("ring_p8", |b| {
+        b.iter(|| {
+            Cluster::new(p).run(|ctx| {
+                ctx.all_reduce_ring(Mat::zeros(1024, 128), K)
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_all_to_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_to_all");
+    group.sample_size(20);
+    for &p in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                Cluster::new(p).run(|ctx| {
+                    let parts = (0..p).map(|_| Mat::zeros(512, 64)).collect();
+                    ctx.all_to_all(parts, K)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_broadcast,
+    bench_all_reduce_naive_vs_ring,
+    bench_all_to_all
+);
+criterion_main!(benches);

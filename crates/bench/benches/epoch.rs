@@ -1,0 +1,31 @@
+//! End-to-end epoch benchmarks: one full training epoch of each system on
+//! a mid-sized synthetic graph — the wall-clock counterpart of the
+//! simulated numbers in Figs. 8–12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdm_core::{train_gcn, TrainerConfig};
+use rdm_graph::DatasetSpec;
+
+fn bench_epoch(c: &mut Criterion) {
+    let ds = DatasetSpec::synthetic("bench", 8_000, 64_000, 64, 16).instantiate(3);
+    let mut group = c.benchmark_group("epoch");
+    group.sample_size(10);
+    for &p in &[2usize, 4] {
+        for (label, cfg) in [
+            ("rdm", TrainerConfig::rdm_auto(p)),
+            ("cagnet", TrainerConfig::cagnet(p)),
+            ("dgcl", TrainerConfig::dgcl(p)),
+        ] {
+            let cfg = cfg.hidden(64).epochs(1);
+            group.bench_with_input(
+                BenchmarkId::new(label, p),
+                &cfg,
+                |b, cfg| b.iter(|| train_gcn(&ds, cfg).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

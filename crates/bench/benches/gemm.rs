@@ -1,0 +1,36 @@
+//! Microbenchmarks of the dense GEMM kernels (the linear layers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdm_dense::{gemm, gemm_nt, gemm_tn, Mat};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    // GNN shapes: tall-skinny activations times small weights.
+    for &(n, fi, fo) in &[(10_000usize, 128usize, 128usize), (10_000, 602, 128), (40_000, 128, 41)] {
+        let h = Mat::random(n, fi, 1.0, 1);
+        let w = Mat::random(fi, fo, 1.0, 2);
+        group.throughput(Throughput::Elements((2 * n * fi * fo) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{fi}x{fo}")),
+            &(h, w),
+            |b, (h, w)| b.iter(|| gemm(h, w)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gemm_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_variants");
+    let n = 10_000;
+    let (fi, fo) = (128, 128);
+    let h = Mat::random(n, fi, 1.0, 1);
+    let g = Mat::random(n, fo, 1.0, 2);
+    let w = Mat::random(fi, fo, 1.0, 3);
+    group.bench_function("nn_forward", |b| b.iter(|| gemm(&h, &w)));
+    group.bench_function("tn_weight_grad", |b| b.iter(|| gemm_tn(&h, &g)));
+    group.bench_function("nt_grad_prop", |b| b.iter(|| gemm_nt(&g, &w)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemm_variants);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of GraphSAINT samplers, subgraph induction, and the
+//! partitioners backing the DGCL-like baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdm_graph::{
+    greedy_bfs_partition, random_partition, DatasetSpec, SaintSampler,
+};
+
+fn bench_samplers(c: &mut Criterion) {
+    let ds = DatasetSpec::synthetic("bench", 20_000, 160_000, 32, 8).instantiate(1);
+    let mut group = c.benchmark_group("saint_sampler");
+    for (label, sampler) in [
+        ("node", SaintSampler::Node { budget: 2_000 }),
+        ("edge", SaintSampler::Edge { budget: 1_000 }),
+        (
+            "random_walk",
+            SaintSampler::RandomWalk {
+                roots: 250,
+                walk_len: 7,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sampler, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                s.sample(&ds.adj, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_induction(c: &mut Criterion) {
+    let ds = DatasetSpec::synthetic("bench", 20_000, 160_000, 32, 8).instantiate(1);
+    let sub = SaintSampler::Node { budget: 2_000 }.sample(&ds.adj, 7);
+    c.bench_function("induce_2k_of_20k", |b| b.iter(|| ds.induced(&sub.vertices)));
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let ds = DatasetSpec::synthetic("bench", 20_000, 160_000, 32, 8).instantiate(1);
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    group.bench_function("greedy_bfs_p8", |b| {
+        b.iter(|| greedy_bfs_partition(&ds.adj_norm, 8, 3))
+    });
+    group.bench_function("random_p8", |b| b.iter(|| random_partition(20_000, 8, 3)));
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let ds = DatasetSpec::synthetic("bench", 20_000, 160_000, 32, 8).instantiate(1);
+    let mut group = c.benchmark_group("normalize");
+    group.bench_function("gcn_symmetric", |b| {
+        b.iter(|| rdm_sparse::gcn_normalize(&ds.adj))
+    });
+    group.bench_function("mean_row", |b| b.iter(|| rdm_sparse::mean_normalize(&ds.adj)));
+    group.bench_function("transpose", |b| b.iter(|| ds.adj_norm.transpose()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_samplers,
+    bench_induction,
+    bench_partitioners,
+    bench_normalization
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Microbenchmarks of the SpMM kernel — the operation the paper
+//! identifies as dominating GNN training time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdm_dense::Mat;
+use rdm_graph::{rmat, symmetrize};
+use rdm_sparse::{gcn_normalize, spmm, spmm_masked};
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for &(n, deg, f) in &[(10_000usize, 8usize, 32usize), (10_000, 8, 128), (40_000, 16, 128)] {
+        let adj = gcn_normalize(&symmetrize(n, &rmat(n, n * deg, 1)));
+        let h = Mat::random(n, f, 1.0, 2);
+        let flops = 2 * adj.nnz() * f;
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{deg}_f{f}")),
+            &(adj, h),
+            |b, (adj, h)| b.iter(|| spmm(adj, h)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_spmm_masked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_masked");
+    let n = 10_000;
+    let adj = gcn_normalize(&symmetrize(n, &rmat(n, n * 8, 1)));
+    let h = Mat::random(n, 64, 1.0, 2);
+    // Half-dense mask (the sampled-halo variant of §III-F).
+    let mask: Vec<bool> = (0..adj.nnz()).map(|i| i % 2 == 0).collect();
+    group.bench_function("half_mask_f64", |b| {
+        b.iter(|| spmm_masked(&adj, &h, &mask))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm, bench_spmm_masked);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates **Figure 12**: per-epoch time split into computation vs
+//! communication for CAGNET and RDM on 8 GPUs (2-layer GCN, 128 hidden
+//! features), plus the measured communication volumes behind it.
+
+use rdm_bench::{bench_epochs, run, scaled_datasets, TablePrinter};
+use rdm_core::TrainerConfig;
+
+fn main() {
+    let p = 8;
+    println!("Figure 12: computation vs communication per epoch, P = {p}, 2-layer, hidden = 128");
+    println!();
+    let t = TablePrinter::new(&[14, 12, 13, 13, 13, 13, 14]);
+    t.row(&[
+        "Dataset".into(),
+        "System".into(),
+        "compute(ms)".into(),
+        "comm(ms)".into(),
+        "total(ms)".into(),
+        "comm-frac".into(),
+        "MB moved".into(),
+    ]);
+    t.sep();
+    for ds in scaled_datasets() {
+        for (label, cfg) in [
+            ("RDM", TrainerConfig::rdm_auto(p)),
+            ("CAGNET", TrainerConfig::cagnet(p)),
+        ] {
+            let report = run(&ds, &cfg.hidden(128).layers(2).epochs(bench_epochs()));
+            let e = report.epochs.last().unwrap();
+            t.row(&[
+                ds.spec.name.clone(),
+                label.into(),
+                format!("{:.2}", e.sim.compute_s * 1e3),
+                format!("{:.2}", e.sim.comm_s * 1e3),
+                format!("{:.2}", e.sim.total_s * 1e3),
+                format!("{:.0}%", 100.0 * e.sim.comm_s / e.sim.total_s),
+                format!("{:.2}", e.total_bytes as f64 / 1e6),
+            ]);
+        }
+        t.sep();
+    }
+    println!("(simulated on the paper's 8xA6000 device model from measured op/byte counts)");
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figures 8–11**: training throughput (epochs/second) of
+//! RDM vs CAGNET-1.5D vs DGCL for every dataset, on 2/4/8 simulated GPUs,
+//! with 2/3 GCN layers and 128/256 hidden features.
+//!
+//! Each cell executes real distributed training on the scaled dataset and
+//! reports the *simulated* epochs/second (device model applied to measured
+//! op and byte counts — see DESIGN.md §2). Shapes to compare against the
+//! paper: RDM above CAGNET everywhere; DGCL competitive at P = 2 but
+//! overtaken by RDM at 4 and 8 GPUs.
+//!
+//! Usage: `fig8_11 [dataset-substring]` to restrict to matching datasets.
+
+use rdm_bench::{run, scaled_datasets, throughput_trio, TablePrinter, GPU_COUNTS};
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default().to_lowercase();
+    let datasets = scaled_datasets();
+    for (fig, (layers, hidden)) in [(2usize, 128usize), (2, 256), (3, 128), (3, 256)]
+        .into_iter()
+        .enumerate()
+    {
+        println!(
+            "Figure {}: training throughput (epochs/s), {layers}-layer GCN, hidden={hidden}",
+            8 + fig
+        );
+        println!();
+        let t = TablePrinter::new(&[14, 4, 12, 14, 12, 14, 14]);
+        t.row(&[
+            "Dataset".into(),
+            "P".into(),
+            "RDM".into(),
+            "CAGNET-1.5D".into(),
+            "DGCL".into(),
+            "RDM/CAGNET".into(),
+            "RDM/DGCL".into(),
+        ]);
+        t.sep();
+        for ds in &datasets {
+            if !filter.is_empty() && !ds.spec.name.to_lowercase().contains(&filter) {
+                continue;
+            }
+            for p in GPU_COUNTS {
+                let reports: Vec<_> = throughput_trio(p, layers, hidden)
+                    .iter()
+                    .map(|cfg| run(ds, cfg))
+                    .collect();
+                let eps: Vec<f64> = reports.iter().map(|r| r.sim_epochs_per_sec()).collect();
+                t.row(&[
+                    ds.spec.name.clone(),
+                    p.to_string(),
+                    format!("{:.2}", eps[0]),
+                    format!("{:.2}", eps[1]),
+                    format!("{:.2}", eps[2]),
+                    format!("{:.2}x", eps[0] / eps[1]),
+                    format!("{:.2}x", eps[0] / eps[2]),
+                ]);
+            }
+            t.sep();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table X**: per-GPU space requirement of CAGNET vs
+//! GNN-RDM at replication factors `R_A ∈ {2, 4, 8}` on 8 GPUs, from the
+//! memory model at the paper's full-scale dataset parameters.
+
+use rdm_bench::TablePrinter;
+use rdm_graph::paper_datasets;
+use rdm_model::{cagnet_bytes_per_gpu, rdm_bytes_per_gpu, MemoryParams};
+
+fn human(bytes: usize) -> String {
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    if mb >= 1024.0 {
+        format!("{:.1}GB", mb / 1024.0)
+    } else {
+        format!("{mb:.0}MB")
+    }
+}
+
+fn main() {
+    println!("Table X: per-GPU space requirement, distributed GCN on 8 GPUs");
+    println!();
+    let t = TablePrinter::new(&[14, 9, 10, 10, 10]);
+    t.row(&[
+        "Dataset".into(),
+        "CAGNET".into(),
+        "R_A=2".into(),
+        "R_A=4".into(),
+        "R_A=8".into(),
+    ]);
+    t.sep();
+    for spec in paper_datasets() {
+        let mp = MemoryParams {
+            n: spec.vertices,
+            nnz: 2 * spec.edges + spec.vertices,
+            feat_sum: spec.feature_size + 128 + spec.labels,
+            p: 8,
+        };
+        t.row(&[
+            spec.name.clone(),
+            human(cagnet_bytes_per_gpu(mp)),
+            human(rdm_bytes_per_gpu(mp, 2)),
+            human(rdm_bytes_per_gpu(mp, 4)),
+            human(rdm_bytes_per_gpu(mp, 8)),
+        ]);
+    }
+    println!();
+    println!("Paper (for comparison): Arxiv 26/28/32/39MB, MAG 618/650/713/840MB,");
+    println!("Products 430/522/708MB/1.1GB, Reddit 262/434/779MB/1.5GB,");
+    println!("Web-Google 220/227/243/273MB, Com-Orkut 723/898MB/1.3/2GB,");
+    println!("CAMI-Airways 239/273/342/479MB, CAMI-Oral 239/270/332/457MB");
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table IV**: symbolic communication and SpMM cost of all
+//! 16 SpMM/GEMM orderings of a 2-layer GCN.
+//!
+//! Communication is in units of `(P-1)/P·N`, sparse ops in units of `nnz`.
+//! Rows 13 and 15 of the printed paper are internally inconsistent; the
+//! derived values here are the ones the rest of the system (and the unit
+//! tests) use — see DESIGN.md §4.
+
+use rdm_bench::TablePrinter;
+use rdm_model::table4;
+
+fn main() {
+    println!("Table IV: communication and computation cost, 2-layer GNN");
+    println!();
+    let t = TablePrinter::new(&[4, 8, 9, 48, 44]);
+    t.row(&[
+        "ID".into(),
+        "Forward".into(),
+        "Backward".into(),
+        "Communication".into(),
+        "Sparse Ops".into(),
+    ]);
+    t.sep();
+    for row in table4() {
+        t.row(&[
+            row.id.to_string(),
+            row.forward.clone(),
+            row.backward.clone(),
+            row.comm.to_string(),
+            row.sparse.to_string(),
+        ]);
+    }
+    println!();
+    println!("(comm in units of (P-1)/P*N elements; sparse ops in units of nnz)");
+}

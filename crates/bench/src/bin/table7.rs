@@ -1,0 +1,48 @@
+//! Regenerates **Table VII**: geometric-mean speedup of RDM over CAGNET
+//! and DGCL across the eight datasets, per (GPUs, layers, hidden) cell.
+//!
+//! Paper values for reference: vs CAGNET between 2.0× and 2.68×
+//! everywhere; vs DGCL below 1× at 2 GPUs, 2.1–2.54× at 4 GPUs,
+//! 3.13–3.74× at 8 GPUs.
+
+use rdm_bench::{geomean, run, scaled_datasets, throughput_trio, TablePrinter, GPU_COUNTS};
+
+fn main() {
+    let datasets = scaled_datasets();
+    println!("Table VII: geomean speedup of RDM over CAGNET and DGCL (8 datasets)");
+    println!();
+    let t = TablePrinter::new(&[5, 7, 9, 20, 18]);
+    t.row(&[
+        "GPUs".into(),
+        "Layers".into(),
+        "Features".into(),
+        "Speedup vs CAGNET".into(),
+        "Speedup vs DGCL".into(),
+    ]);
+    t.sep();
+    for p in GPU_COUNTS {
+        for layers in [2usize, 3] {
+            for hidden in [128usize, 256] {
+                let mut vs_cagnet = Vec::new();
+                let mut vs_dgcl = Vec::new();
+                for ds in &datasets {
+                    let reports: Vec<_> = throughput_trio(p, layers, hidden)
+                        .iter()
+                        .map(|cfg| run(ds, cfg))
+                        .collect();
+                    let rdm = reports[0].mean_sim_epoch_s();
+                    vs_cagnet.push(reports[1].mean_sim_epoch_s() / rdm);
+                    vs_dgcl.push(reports[2].mean_sim_epoch_s() / rdm);
+                }
+                t.row(&[
+                    p.to_string(),
+                    layers.to_string(),
+                    hidden.to_string(),
+                    format!("{:.2}", geomean(&vs_cagnet)),
+                    format!("{:.2}", geomean(&vs_dgcl)),
+                ]);
+            }
+        }
+        t.sep();
+    }
+}

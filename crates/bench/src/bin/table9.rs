@@ -1,0 +1,53 @@
+//! Regenerates **Table IX**: ratio of CAGNET's epoch time and
+//! communication time over RDM's, for the four network shapes
+//! (2/3 layers × 128/256 hidden), per dataset.
+//!
+//! Paper reference: epoch ratios 1.06–3.47, comm ratios 1.54–4.60, RDM
+//! ahead everywhere.
+
+use rdm_bench::{bench_epochs, run, scaled_datasets, TablePrinter};
+use rdm_core::TrainerConfig;
+
+fn main() {
+    println!("Table IX: CAGNET / RDM ratios of epoch time and communication time");
+    println!();
+    let p = 8;
+    let t = TablePrinter::new(&[14, 11, 11, 11, 11, 11, 11, 11, 11]);
+    let mut header = vec!["Dataset".to_string()];
+    for (l, h) in [(2, 128), (2, 256), (3, 128), (3, 256)] {
+        header.push(format!("{l}L/{h} ep"));
+        header.push(format!("{l}L/{h} cm"));
+    }
+    t.row(&header);
+    t.sep();
+    for ds in scaled_datasets() {
+        let mut cells = vec![ds.spec.name.clone()];
+        for (layers, hidden) in [(2usize, 128usize), (2, 256), (3, 128), (3, 256)] {
+            let rdm = run(
+                &ds,
+                &TrainerConfig::rdm_auto(p)
+                    .layers(layers)
+                    .hidden(hidden)
+                    .epochs(bench_epochs()),
+            );
+            let cag = run(
+                &ds,
+                &TrainerConfig::cagnet(p)
+                    .layers(layers)
+                    .hidden(hidden)
+                    .epochs(bench_epochs()),
+            );
+            cells.push(format!(
+                "{:.2}",
+                cag.mean_sim_epoch_s() / rdm.mean_sim_epoch_s()
+            ));
+            cells.push(format!(
+                "{:.2}",
+                cag.mean_sim_comm_s() / rdm.mean_sim_comm_s()
+            ));
+        }
+        t.row(&cells);
+    }
+    println!();
+    println!("(ep = epoch-time ratio, cm = communication-time ratio; P = 8)");
+}

@@ -1,0 +1,238 @@
+//! The SPMD execution driver.
+
+use crate::mailbox::{Barrier, Fabric};
+use crate::stats::{CollectiveKind, CommStats};
+use rdm_dense::Mat;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A fixed-size group of ranks (the simulated multi-GPU node).
+///
+/// [`Cluster::run`] executes one SPMD closure on every rank concurrently;
+/// ranks may only interact through the [`RankCtx`] passed to the closure.
+pub struct Cluster {
+    p: usize,
+}
+
+/// Per-rank results of a [`Cluster::run`].
+pub struct RunOutput<T> {
+    /// Closure return value of each rank, indexed by rank.
+    pub results: Vec<T>,
+    /// Communication statistics of each rank, indexed by rank.
+    pub stats: Vec<CommStats>,
+}
+
+impl Cluster {
+    /// A cluster of `p` ranks.
+    ///
+    /// # Panics
+    /// If `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "cluster needs at least one rank");
+        Cluster { p }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Run `f` on every rank concurrently and wait for all to finish.
+    ///
+    /// The closure receives a [`RankCtx`] scoped to its rank. After all
+    /// ranks return, the fabric is checked for unconsumed messages — leaving
+    /// any behind indicates mismatched collective calls and panics.
+    pub fn run<T, F>(&self, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&RankCtx) -> T + Sync,
+    {
+        let fabric = Arc::new(Fabric::new(self.p));
+        let barrier = Arc::new(Barrier::new(self.p));
+        let mut slots: Vec<Option<(T, CommStats)>> = (0..self.p).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.p);
+            for (rank, slot) in slots.iter_mut().enumerate() {
+                let fabric = fabric.clone();
+                let barrier = barrier.clone();
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    let ctx = RankCtx {
+                        rank,
+                        fabric,
+                        barrier,
+                        stats: RefCell::new(CommStats::default()),
+                    };
+                    let out = f(&ctx);
+                    *slot = Some((out, ctx.stats.into_inner()));
+                }));
+            }
+            for h in handles {
+                h.join().expect("rank thread panicked");
+            }
+        })
+        .expect("cluster scope failed");
+        assert!(
+            fabric.all_drained(),
+            "unconsumed messages left in the fabric: mismatched collectives"
+        );
+        let mut results = Vec::with_capacity(self.p);
+        let mut stats = Vec::with_capacity(self.p);
+        for s in slots {
+            let (r, st) = s.expect("rank produced no result");
+            results.push(r);
+            stats.push(st);
+        }
+        RunOutput { results, stats }
+    }
+}
+
+/// Handle through which a rank communicates. Created by [`Cluster::run`];
+/// one per rank, not `Send` (it belongs to its thread).
+pub struct RankCtx {
+    rank: usize,
+    fabric: Arc<Fabric>,
+    barrier: Arc<Barrier>,
+    pub(crate) stats: RefCell<CommStats>,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.fabric.size()
+    }
+
+    /// Point-to-point send. Payload bytes are charged to `kind`.
+    ///
+    /// # Panics
+    /// If `dst` is this rank (use a local move instead) or out of range.
+    pub fn send(&self, dst: usize, msg: Mat, kind: CollectiveKind) {
+        assert_ne!(dst, self.rank, "self-send: keep the data local instead");
+        assert!(dst < self.size(), "send to rank {dst} out of range");
+        let t0 = Instant::now();
+        let bytes = msg.nbytes();
+        self.fabric.send(self.rank, dst, msg);
+        let mut st = self.stats.borrow_mut();
+        st.record_send(kind, bytes);
+        st.record_time(t0.elapsed());
+    }
+
+    /// Blocking point-to-point receive from `src`.
+    pub fn recv(&self, src: usize) -> Mat {
+        assert_ne!(src, self.rank, "self-recv is meaningless");
+        assert!(src < self.size(), "recv from rank {src} out of range");
+        let t0 = Instant::now();
+        let msg = self.fabric.recv(src, self.rank);
+        self.stats.borrow_mut().record_time(t0.elapsed());
+        msg
+    }
+
+    /// Block until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        let t0 = Instant::now();
+        self.barrier.wait();
+        self.stats.borrow_mut().record_time(t0.elapsed());
+    }
+
+    /// Snapshot of this rank's statistics so far.
+    pub fn stats_snapshot(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_per_rank_results_in_order() {
+        let out = Cluster::new(4).run(|ctx| ctx.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30]);
+        assert_eq!(out.stats.len(), 4);
+    }
+
+    #[test]
+    fn single_rank_cluster_works() {
+        let out = Cluster::new(1).run(|ctx| {
+            ctx.barrier();
+            ctx.size()
+        });
+        assert_eq!(out.results, vec![1]);
+        assert_eq!(out.stats[0].total_bytes(), 0);
+    }
+
+    #[test]
+    fn ring_pass_moves_data_and_counts_bytes() {
+        let p = 4;
+        let out = Cluster::new(p).run(|ctx| {
+            let me = ctx.rank();
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
+            ctx.send(next, Mat::from_vec(1, 2, vec![me as f32, 1.0]), CollectiveKind::Other);
+            let got = ctx.recv(prev);
+            got.get(0, 0) as usize
+        });
+        // Each rank receives its predecessor's id.
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+        for st in &out.stats {
+            assert_eq!(st.total_bytes(), 8); // 2 f32s
+            assert_eq!(st.total_messages(), 1);
+        }
+    }
+
+    #[test]
+    fn partition_isolation_no_shared_state() {
+        // Each rank mutates only its own data; results must not interfere.
+        let out = Cluster::new(8).run(|ctx| {
+            let mut local = vec![0u64; 1000];
+            for (i, v) in local.iter_mut().enumerate() {
+                *v = (ctx.rank() as u64) * (i as u64);
+            }
+            local.iter().sum::<u64>()
+        });
+        for (r, &sum) in out.results.iter().enumerate() {
+            assert_eq!(sum, (r as u64) * (999 * 1000 / 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unconsumed messages")]
+    fn leftover_messages_panic() {
+        Cluster::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Mat::zeros(1, 1), CollectiveKind::Other);
+            }
+            // Rank 1 never receives.
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn self_send_panics() {
+        Cluster::new(2).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(0, Mat::zeros(1, 1), CollectiveKind::Other);
+            }
+        });
+    }
+
+    #[test]
+    fn barriers_order_cross_rank_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let out = Cluster::new(6).run(|ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            phase1.load(Ordering::SeqCst)
+        });
+        assert!(out.results.iter().all(|&v| v == 6));
+    }
+}

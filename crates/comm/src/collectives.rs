@@ -1,0 +1,518 @@
+//! Collective operations, composed from point-to-point sends so that byte
+//! accounting is uniform and exact.
+//!
+//! Every collective exists in a *group* form taking an explicit rank list
+//! (used by the `R_A < P` row-panel scheme of §III-E, where broadcasts
+//! happen inside a panel group and redistributions inside a row group) and
+//! a whole-cluster convenience form.
+//!
+//! Volume notes (payload of `|m|` bytes per rank, group size `g`):
+//!
+//! * `broadcast`: root sends `g-1` copies → `(g-1)·|m|` total — the paper's
+//!   "no hardware multicast" accounting for CAGNET's SpMM broadcast.
+//! * `all_to_all`: each rank ships all parts except its own →
+//!   `(g-1)/g · |M|` total for a global matrix of `|M|` bytes — the RDM
+//!   redistribution volume.
+//! * `all_reduce_sum` (naive gather): `g·(g-1)·|m|` total.
+//! * `all_reduce_ring`: reduce-scatter + all-gather, `2·(g-1)/g·|m|` per
+//!   rank — the bandwidth-optimal NCCL-style ring, provided as an ablation.
+
+use crate::cluster::RankCtx;
+use crate::stats::CollectiveKind;
+use rdm_dense::{add_assign, hstack, part_range, vstack, Mat};
+
+impl RankCtx {
+    /// Position of this rank within `group`.
+    ///
+    /// # Panics
+    /// If this rank is not a member.
+    fn group_index(&self, group: &[usize]) -> usize {
+        group
+            .iter()
+            .position(|&r| r == self.rank())
+            .unwrap_or_else(|| panic!("rank {} not in group {group:?}", self.rank()))
+    }
+
+    /// Broadcast `root`'s matrix to every rank in `group`. `root` is an
+    /// absolute rank id and must be in the group. Only the root's `mat` is
+    /// consulted; other ranks pass `None`.
+    pub fn group_broadcast(
+        &self,
+        group: &[usize],
+        root: usize,
+        mat: Option<Mat>,
+        kind: CollectiveKind,
+    ) -> Mat {
+        self.group_index(group); // membership check
+        if self.rank() == root {
+            let m = mat.expect("root must supply the broadcast payload");
+            for &dst in group {
+                if dst != root {
+                    self.send(dst, m.clone(), kind);
+                }
+            }
+            m
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Whole-cluster broadcast from `root`.
+    pub fn broadcast(&self, root: usize, mat: Option<Mat>, kind: CollectiveKind) -> Mat {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_broadcast(&group, root, mat, kind)
+    }
+
+    /// All-gather within `group`: every rank contributes `part`; returns the
+    /// parts of all members ordered by group position.
+    pub fn group_all_gather(
+        &self,
+        group: &[usize],
+        part: Mat,
+        kind: CollectiveKind,
+    ) -> Vec<Mat> {
+        let my_idx = self.group_index(group);
+        for &dst in group {
+            if dst != self.rank() {
+                self.send(dst, part.clone(), kind);
+            }
+        }
+        group
+            .iter()
+            .enumerate()
+            .map(|(idx, &src)| {
+                if idx == my_idx {
+                    part.clone()
+                } else {
+                    self.recv(src)
+                }
+            })
+            .collect()
+    }
+
+    /// Whole-cluster all-gather.
+    pub fn all_gather(&self, part: Mat, kind: CollectiveKind) -> Vec<Mat> {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_all_gather(&group, part, kind)
+    }
+
+    /// Personalized all-to-all within `group`: `parts[j]` is destined for
+    /// the `j`-th group member; the return value's `i`-th entry came from
+    /// the `i`-th member. The part addressed to this rank is moved, not
+    /// sent, so it costs no bytes.
+    ///
+    /// # Panics
+    /// If `parts.len() != group.len()`.
+    pub fn group_all_to_all(
+        &self,
+        group: &[usize],
+        mut parts: Vec<Mat>,
+        kind: CollectiveKind,
+    ) -> Vec<Mat> {
+        assert_eq!(
+            parts.len(),
+            group.len(),
+            "all_to_all needs one part per group member"
+        );
+        let my_idx = self.group_index(group);
+        // Ship everything that is not ours. Replace shipped parts with
+        // empty placeholders so we can move out of the vec.
+        let my_part = std::mem::replace(&mut parts[my_idx], Mat::zeros(0, 0));
+        for (idx, &dst) in group.iter().enumerate() {
+            if idx != my_idx {
+                let p = std::mem::replace(&mut parts[idx], Mat::zeros(0, 0));
+                self.send(dst, p, kind);
+            }
+        }
+        group
+            .iter()
+            .enumerate()
+            .map(|(idx, &src)| {
+                if idx == my_idx {
+                    my_part.clone()
+                } else {
+                    self.recv(src)
+                }
+            })
+            .collect()
+    }
+
+    /// Whole-cluster personalized all-to-all.
+    pub fn all_to_all(&self, parts: Vec<Mat>, kind: CollectiveKind) -> Vec<Mat> {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_all_to_all(&group, parts, kind)
+    }
+
+    /// Element-wise sum all-reduce within `group` (naive all-gather
+    /// implementation; exact for small payloads like weight gradients).
+    pub fn group_all_reduce_sum(
+        &self,
+        group: &[usize],
+        mat: Mat,
+        kind: CollectiveKind,
+    ) -> Mat {
+        let parts = self.group_all_gather(group, mat, kind);
+        let mut acc = parts[0].clone();
+        for p in &parts[1..] {
+            add_assign(&mut acc, p);
+        }
+        acc
+    }
+
+    /// Whole-cluster sum all-reduce.
+    pub fn all_reduce_sum(&self, mat: Mat, kind: CollectiveKind) -> Mat {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_all_reduce_sum(&group, mat, kind)
+    }
+
+    /// Bandwidth-optimal ring all-reduce (reduce-scatter by rows, then
+    /// all-gather), `2·(g-1)/g·|m|` bytes per rank. Matches
+    /// [`RankCtx::all_reduce_sum`] numerically up to FP reassociation.
+    pub fn all_reduce_ring(&self, mat: Mat, kind: CollectiveKind) -> Mat {
+        let p = self.size();
+        if p == 1 {
+            return mat;
+        }
+        let me = self.rank();
+        let rows = mat.rows();
+        let cols = mat.cols();
+        // Phase 1: reduce-scatter. Chunk r ends up fully reduced on rank r.
+        // Step s: send chunk (me - s - 1) to the next rank, receive chunk
+        // (me - s - 2)... simpler indexing: at step s, rank sends the chunk
+        // it most recently accumulated.
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        let chunk = |m: &Mat, idx: usize| {
+            let r = part_range(rows, p, idx);
+            m.row_block(r.start, r.end)
+        };
+        let mut acc = mat.clone();
+        // Standard ring reduce-scatter: at step s (0..p-1), send chunk
+        // (me - s) mod p, receive and accumulate chunk (me - s - 1) mod p.
+        for s in 0..p - 1 {
+            let send_idx = (me + p - s) % p;
+            let recv_idx = (me + p - s - 1) % p;
+            self.send(next, chunk(&acc, send_idx), kind);
+            let got = self.recv(prev);
+            let r = part_range(rows, p, recv_idx);
+            let mut merged = acc.row_block(r.start, r.end);
+            add_assign(&mut merged, &got);
+            acc.set_block(r.start, 0, &merged);
+        }
+        // Now chunk (me + 1) mod p is fully reduced on this rank.
+        // Phase 2: all-gather the reduced chunks around the ring.
+        let mut out = Mat::zeros(rows, cols);
+        let owned_idx = (me + 1) % p;
+        let owned = chunk(&acc, owned_idx);
+        {
+            let r = part_range(rows, p, owned_idx);
+            out.set_block(r.start, 0, &owned);
+        }
+        let mut carry = owned;
+        let mut carry_idx = owned_idx;
+        for _ in 0..p - 1 {
+            self.send(next, carry, kind);
+            let got = self.recv(prev);
+            carry_idx = (carry_idx + p - 1) % p;
+            let r = part_range(rows, p, carry_idx);
+            out.set_block(r.start, 0, &got);
+            carry = got;
+        }
+        out
+    }
+
+    /// Reduce-scatter within the cluster: `parts[j]` is this rank's
+    /// contribution to rank `j`'s result; returns the sum of all
+    /// contributions addressed to this rank. `(g-1)/g` of the payload
+    /// moves.
+    pub fn reduce_scatter_sum(&self, parts: Vec<Mat>, kind: CollectiveKind) -> Mat {
+        let received = self.all_to_all(parts, kind);
+        let mut acc = received[0].clone();
+        for p in &received[1..] {
+            add_assign(&mut acc, p);
+        }
+        acc
+    }
+
+    /// Redistribute a **row-sliced** global matrix to **column-sliced**
+    /// (Fig. 7a): divide the local row slice into per-member column chunks,
+    /// exchange all-to-all, merge received chunks vertically.
+    ///
+    /// `local` is this rank's row slice; `global_cols` is the full width.
+    /// Returns this rank's column slice (all `global_rows` rows of its
+    /// columns).
+    pub fn redistribute_h_to_v(&self, local: &Mat, kind: CollectiveKind) -> Mat {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_redistribute_h_to_v(&group, local, kind)
+    }
+
+    /// Group form of [`RankCtx::redistribute_h_to_v`].
+    pub fn group_redistribute_h_to_v(
+        &self,
+        group: &[usize],
+        local: &Mat,
+        kind: CollectiveKind,
+    ) -> Mat {
+        let g = group.len();
+        let parts = rdm_dense::split_cols(local, g);
+        let received = self.group_all_to_all(group, parts, kind);
+        vstack(&received)
+    }
+
+    /// Redistribute a **column-sliced** global matrix to **row-sliced**
+    /// (Fig. 7b): divide the local column slice into per-member row chunks,
+    /// exchange, merge horizontally.
+    pub fn redistribute_v_to_h(&self, local: &Mat, kind: CollectiveKind) -> Mat {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_redistribute_v_to_h(&group, local, kind)
+    }
+
+    /// Group form of [`RankCtx::redistribute_v_to_h`].
+    pub fn group_redistribute_v_to_h(
+        &self,
+        group: &[usize],
+        local: &Mat,
+        kind: CollectiveKind,
+    ) -> Mat {
+        let g = group.len();
+        let parts = rdm_dense::split_rows(local, g);
+        let received = self.group_all_to_all(group, parts, kind);
+        hstack(&received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use rdm_dense::allclose;
+
+    const K: CollectiveKind = CollectiveKind::Other;
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let p = 4;
+        let out = Cluster::new(p).run(|ctx| {
+            let payload = (ctx.rank() == 1).then(|| Mat::from_vec(1, 2, vec![3.0, 4.0]));
+            ctx.broadcast(1, payload, K)
+        });
+        for m in &out.results {
+            assert_eq!(m.as_slice(), &[3.0, 4.0]);
+        }
+        // Root sent p-1 copies of 8 bytes.
+        assert_eq!(out.stats[1].total_bytes(), ((p - 1) * 8) as u64);
+        assert_eq!(out.stats[0].total_bytes(), 0);
+    }
+
+    #[test]
+    fn group_broadcast_leaves_nonmembers_alone() {
+        let out = Cluster::new(4).run(|ctx| {
+            // Group {1, 3}, root 3. Ranks 0 and 2 do nothing.
+            if ctx.rank() == 1 || ctx.rank() == 3 {
+                let payload = (ctx.rank() == 3).then(|| Mat::from_vec(1, 1, vec![9.0]));
+                Some(ctx.group_broadcast(&[1, 3], 3, payload, K))
+            } else {
+                None
+            }
+        });
+        assert!(out.results[0].is_none());
+        assert_eq!(out.results[1].as_ref().unwrap().get(0, 0), 9.0);
+        assert_eq!(out.stats[3].total_bytes(), 4);
+    }
+
+    #[test]
+    fn all_gather_collects_in_rank_order() {
+        let out = Cluster::new(3).run(|ctx| {
+            let part = Mat::from_vec(1, 1, vec![ctx.rank() as f32]);
+            ctx.all_gather(part, K)
+        });
+        for parts in &out.results {
+            let vals: Vec<f32> = parts.iter().map(|m| m.get(0, 0)).collect();
+            assert_eq!(vals, vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_ownership() {
+        let p = 4;
+        let out = Cluster::new(p).run(|ctx| {
+            let me = ctx.rank() as f32;
+            // parts[j] = [me, j]
+            let parts = (0..p)
+                .map(|j| Mat::from_vec(1, 2, vec![me, j as f32]))
+                .collect();
+            ctx.all_to_all(parts, K)
+        });
+        for (r, received) in out.results.iter().enumerate() {
+            for (s, m) in received.iter().enumerate() {
+                assert_eq!(m.get(0, 0), s as f32, "from rank");
+                assert_eq!(m.get(0, 1), r as f32, "addressed to me");
+            }
+        }
+        // Each rank sent p-1 parts of 8 bytes.
+        for st in &out.stats {
+            assert_eq!(st.total_bytes(), ((p - 1) * 8) as u64);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_matches_manual_sum() {
+        let p = 5;
+        let out = Cluster::new(p).run(|ctx| {
+            let m = Mat::from_fn(2, 2, |i, j| (ctx.rank() + i + j) as f32);
+            ctx.all_reduce_sum(m, K)
+        });
+        let expect = Mat::from_fn(2, 2, |i, j| {
+            (0..p).map(|r| (r + i + j) as f32).sum()
+        });
+        for m in &out.results {
+            assert!(allclose(m, &expect, 1e-6));
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_matches_naive() {
+        for p in [1, 2, 3, 4, 7] {
+            let out = Cluster::new(p).run(|ctx| {
+                let m = Mat::random(9, 5, 1.0, ctx.rank() as u64);
+                let naive = ctx.all_reduce_sum(m.clone(), K);
+                let ring = ctx.all_reduce_ring(m, K);
+                (naive, ring)
+            });
+            for (naive, ring) in &out.results {
+                assert!(allclose(naive, ring, 1e-4), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_volume_is_bandwidth_optimal() {
+        // Per-rank ring volume must be strictly below naive volume for p>2.
+        let p = 8;
+        let rows = 64;
+        let cols = 4;
+        let naive = Cluster::new(p).run(|ctx| {
+            ctx.all_reduce_sum(Mat::zeros(rows, cols), K);
+        });
+        let ring = Cluster::new(p).run(|ctx| {
+            ctx.all_reduce_ring(Mat::zeros(rows, cols), K);
+        });
+        let naive_bytes: u64 = naive.stats.iter().map(|s| s.total_bytes()).sum();
+        let ring_bytes: u64 = ring.stats.iter().map(|s| s.total_bytes()).sum();
+        assert!(
+            ring_bytes < naive_bytes / 2,
+            "ring {ring_bytes} vs naive {naive_bytes}"
+        );
+        // Ring moves 2·(p-1)/p·|m| per rank.
+        let expect_per_rank = 2 * (rows * cols * 4) * (p - 1) / p;
+        for st in &ring.stats {
+            let got = st.total_bytes() as usize;
+            // Chunking of 64 rows over 8 ranks is exact.
+            assert_eq!(got, expect_per_rank);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_contributions() {
+        let p = 3;
+        let out = Cluster::new(p).run(|ctx| {
+            let parts = (0..p)
+                .map(|j| Mat::from_vec(1, 1, vec![(ctx.rank() * 10 + j) as f32]))
+                .collect();
+            ctx.reduce_scatter_sum(parts, K)
+        });
+        for (j, m) in out.results.iter().enumerate() {
+            let expect: f32 = (0..p).map(|r| (r * 10 + j) as f32).sum();
+            assert_eq!(m.get(0, 0), expect);
+        }
+    }
+
+    #[test]
+    fn h_to_v_redistribution_reconstructs_column_slices() {
+        let p = 3;
+        let global = Mat::from_fn(9, 7, |i, j| (i * 100 + j) as f32);
+        let g2 = global.clone();
+        let out = Cluster::new(p).run(move |ctx| {
+            let r = part_range(9, p, ctx.rank());
+            let local = g2.row_block(r.start, r.end);
+            ctx.redistribute_h_to_v(&local, K)
+        });
+        for (r, m) in out.results.iter().enumerate() {
+            let c = part_range(7, p, r);
+            assert_eq!(*m, global.col_block(c.start, c.end));
+        }
+    }
+
+    #[test]
+    fn v_to_h_redistribution_reconstructs_row_slices() {
+        let p = 4;
+        let global = Mat::from_fn(10, 8, |i, j| (i * 100 + j) as f32);
+        let g2 = global.clone();
+        let out = Cluster::new(p).run(move |ctx| {
+            let c = part_range(8, p, ctx.rank());
+            let local = g2.col_block(c.start, c.end);
+            ctx.redistribute_v_to_h(&local, K)
+        });
+        for (r, m) in out.results.iter().enumerate() {
+            let rr = part_range(10, p, r);
+            assert_eq!(*m, global.row_block(rr.start, rr.end));
+        }
+    }
+
+    #[test]
+    fn redistribution_roundtrip_is_identity() {
+        let p = 4;
+        let global = Mat::random(16, 12, 1.0, 5);
+        let g2 = global.clone();
+        let out = Cluster::new(p).run(move |ctx| {
+            let r = part_range(16, p, ctx.rank());
+            let local = g2.row_block(r.start, r.end);
+            let v = ctx.redistribute_h_to_v(&local, K);
+            ctx.redistribute_v_to_h(&v, K)
+        });
+        for (r, m) in out.results.iter().enumerate() {
+            let rr = part_range(16, p, r);
+            assert_eq!(*m, global.row_block(rr.start, rr.end));
+        }
+    }
+
+    #[test]
+    fn redistribution_volume_matches_paper_formula() {
+        // Total volume of an H→V redistribution of an N×f matrix must be
+        // exactly (P-1)/P · N · f elements (§III-D).
+        let p = 4;
+        let n = 32;
+        let f = 8;
+        let out = Cluster::new(p).run(move |ctx| {
+            let r = part_range(n, p, ctx.rank());
+            let local = Mat::zeros(r.len(), f);
+            ctx.redistribute_h_to_v(&local, CollectiveKind::Redistribute);
+        });
+        let total: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.bytes(CollectiveKind::Redistribute))
+            .sum();
+        let expect = (p - 1) * n * f * 4 / p;
+        assert_eq!(total as usize, expect);
+    }
+
+    #[test]
+    fn group_redistribution_within_subgroup() {
+        // Ranks {0, 2} redistribute among themselves; {1, 3} idle.
+        let out = Cluster::new(4).run(|ctx| {
+            if ctx.rank() % 2 == 0 {
+                let global = Mat::from_fn(4, 4, |i, j| (i * 10 + j) as f32);
+                let idx = ctx.rank() / 2;
+                let r = part_range(4, 2, idx);
+                let local = global.row_block(r.start, r.end);
+                Some(ctx.group_redistribute_h_to_v(&[0, 2], &local, K))
+            } else {
+                None
+            }
+        });
+        let global = Mat::from_fn(4, 4, |i, j| (i * 10 + j) as f32);
+        assert_eq!(*out.results[0].as_ref().unwrap(), global.col_block(0, 2));
+        assert_eq!(*out.results[2].as_ref().unwrap(), global.col_block(2, 4));
+    }
+}

@@ -1,0 +1,25 @@
+//! The SPMD multi-rank runtime: GNN-RDM's substitute for a multi-GPU node.
+//!
+//! The paper runs on 8 GPUs connected by NVLink/PCIe and communicates with
+//! NCCL. Here every *rank* is an OS thread with rank-private buffers; ranks
+//! exchange data **only** through the [`RankCtx`] collectives, and every
+//! transferred byte is recorded per rank and per [`CollectiveKind`]. That
+//! accounting is what lets the experiments *measure* the communication
+//! volumes the paper derives analytically (Tables II–IV, Fig. 12) instead of
+//! trusting the formulas.
+//!
+//! * [`cluster`] — [`Cluster::run`]: spawn `P` ranks, run an SPMD closure,
+//!   join, and return per-rank results plus [`CommStats`].
+//! * [`mailbox`] — the blocking FIFO channel fabric between rank pairs.
+//! * [`collectives`] — broadcast / all-gather / all-to-all / all-reduce /
+//!   reduce-scatter / barrier, including *group* variants over a subset of
+//!   ranks (needed by the `R_A < P` row-panel scheme of §III-E).
+//! * [`stats`] — byte, message and wall-time accounting.
+
+pub mod cluster;
+pub mod collectives;
+pub mod mailbox;
+pub mod stats;
+
+pub use cluster::{Cluster, RankCtx};
+pub use stats::{CollectiveKind, CommStats};

@@ -1,0 +1,196 @@
+//! The channel fabric between ranks: one unbounded FIFO per (src, dst) pair.
+//!
+//! Sends never block (the queue is unbounded — the "GPU memory" of the
+//! receiving device); receives block on a condvar until a message arrives.
+//! Messages are dense matrices ([`Mat`]) because everything a GNN moves is
+//! a dense activation, gradient or weight block.
+
+use parking_lot::{Condvar, Mutex};
+use rdm_dense::Mat;
+use std::collections::VecDeque;
+
+/// One directed FIFO queue.
+#[derive(Default)]
+struct Slot {
+    queue: Mutex<VecDeque<Mat>>,
+    ready: Condvar,
+}
+
+/// All `P × P` pairwise queues, shared read-only between rank threads.
+pub struct Fabric {
+    p: usize,
+    slots: Vec<Slot>,
+}
+
+impl Fabric {
+    /// A fabric for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Fabric {
+            p,
+            slots: (0..p * p).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    #[inline]
+    fn slot(&self, src: usize, dst: usize) -> &Slot {
+        debug_assert!(src < self.p && dst < self.p);
+        &self.slots[src * self.p + dst]
+    }
+
+    /// Enqueue a message from `src` to `dst`. Never blocks.
+    pub fn send(&self, src: usize, dst: usize, msg: Mat) {
+        let slot = self.slot(src, dst);
+        slot.queue.lock().push_back(msg);
+        slot.ready.notify_one();
+    }
+
+    /// Dequeue the next message from `src` addressed to `dst`, blocking
+    /// until one is available.
+    pub fn recv(&self, src: usize, dst: usize) -> Mat {
+        let slot = self.slot(src, dst);
+        let mut q = slot.queue.lock();
+        loop {
+            if let Some(m) = q.pop_front() {
+                return m;
+            }
+            slot.ready.wait(&mut q);
+        }
+    }
+
+    /// True if every queue is empty — used by `Cluster::run` to assert no
+    /// rank left unconsumed messages behind (a collective-ordering bug).
+    pub fn all_drained(&self) -> bool {
+        self.slots.iter().all(|s| s.queue.lock().is_empty())
+    }
+}
+
+/// A reusable sense-reversing barrier for `p` ranks.
+pub struct Barrier {
+    p: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    pub fn new(p: usize) -> Self {
+        Barrier {
+            p,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all `p` ranks have called `wait` for this generation.
+    pub fn wait(&self) {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.p {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn send_recv_fifo_order() {
+        let f = Fabric::new(2);
+        f.send(0, 1, Mat::from_vec(1, 1, vec![1.0]));
+        f.send(0, 1, Mat::from_vec(1, 1, vec![2.0]));
+        assert_eq!(f.recv(0, 1).get(0, 0), 1.0);
+        assert_eq!(f.recv(0, 1).get(0, 0), 2.0);
+        assert!(f.all_drained());
+    }
+
+    #[test]
+    fn pairs_are_independent() {
+        let f = Fabric::new(3);
+        f.send(0, 1, Mat::from_vec(1, 1, vec![1.0]));
+        f.send(2, 1, Mat::from_vec(1, 1, vec![9.0]));
+        // Receiving from 2 does not consume 0's message.
+        assert_eq!(f.recv(2, 1).get(0, 0), 9.0);
+        assert_eq!(f.recv(0, 1).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let f = Arc::new(Fabric::new(2));
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || f2.recv(0, 1).get(0, 0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f.send(0, 1, Mat::from_vec(1, 1, vec![7.0]));
+        assert_eq!(h.join().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        let p = 4;
+        let barrier = Arc::new(Barrier::new(p));
+        let before = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..p)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let before = before.clone();
+                std::thread::spawn(move || {
+                    before.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    // After the barrier every thread must observe all
+                    // increments.
+                    assert_eq!(before.load(Ordering::SeqCst), p);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let p = 3;
+        let barrier = Arc::new(Barrier::new(p));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..p)
+            .map(|_| {
+                let barrier = barrier.clone();
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for round in 0..10 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * p);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

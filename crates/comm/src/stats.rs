@@ -1,0 +1,161 @@
+//! Communication accounting.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// What a transfer was *for*. Tagging at the call site lets Fig. 12's
+/// compute/communication breakdown attribute bytes to algorithm phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollectiveKind {
+    /// Row↔column redistribution of a dense activation (the RDM all-to-all).
+    Redistribute,
+    /// Dense-activation broadcast inside an SpMM (CAGNET 1D/1.5D, and the
+    /// panel-group broadcast of the `R_A < P` scheme).
+    Broadcast,
+    /// Gradient / weight all-reduce.
+    AllReduce,
+    /// Gathering distributed embeddings (loss evaluation, output collection).
+    AllGather,
+    /// Halo exchange of remote-vertex features (the DGCL-like baseline).
+    Halo,
+    /// Subgraph / sample distribution (GraphSAINT).
+    Sampling,
+    /// Held-out evaluation traffic (excluded from training-time metrics).
+    Eval,
+    /// Anything else (tests, setup).
+    Other,
+}
+
+impl CollectiveKind {
+    /// All variants, for iteration in reports.
+    pub const ALL: [CollectiveKind; 8] = [
+        CollectiveKind::Redistribute,
+        CollectiveKind::Broadcast,
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllGather,
+        CollectiveKind::Halo,
+        CollectiveKind::Sampling,
+        CollectiveKind::Eval,
+        CollectiveKind::Other,
+    ];
+}
+
+/// Per-rank communication statistics.
+///
+/// `bytes_sent` counts payload bytes this rank *sent to other ranks*
+/// (self-copies inside a collective are free, matching how the paper counts
+/// inter-GPU volume). Wall time covers blocking communication calls.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    per_kind: BTreeMap<CollectiveKind, KindStats>,
+    /// Wall-clock time spent inside communication calls (send, blocked
+    /// receive, barrier).
+    pub comm_time: Duration,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KindStats {
+    pub bytes_sent: u64,
+    pub messages: u64,
+}
+
+impl CommStats {
+    /// Record `bytes` sent in one message of the given kind.
+    pub fn record_send(&mut self, kind: CollectiveKind, bytes: usize) {
+        let e = self.per_kind.entry(kind).or_default();
+        e.bytes_sent += bytes as u64;
+        e.messages += 1;
+    }
+
+    /// Add blocking-communication wall time.
+    pub fn record_time(&mut self, d: Duration) {
+        self.comm_time += d;
+    }
+
+    /// Total bytes sent across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_kind.values().map(|k| k.bytes_sent).sum()
+    }
+
+    /// Total messages across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.per_kind.values().map(|k| k.messages).sum()
+    }
+
+    /// Bytes sent for one kind.
+    pub fn bytes(&self, kind: CollectiveKind) -> u64 {
+        self.per_kind.get(&kind).map_or(0, |k| k.bytes_sent)
+    }
+
+    /// Messages sent for one kind.
+    pub fn messages(&self, kind: CollectiveKind) -> u64 {
+        self.per_kind.get(&kind).map_or(0, |k| k.messages)
+    }
+
+    /// Merge another rank's (or epoch's) stats into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        for (kind, ks) in &other.per_kind {
+            let e = self.per_kind.entry(*kind).or_default();
+            e.bytes_sent += ks.bytes_sent;
+            e.messages += ks.messages;
+        }
+        self.comm_time += other.comm_time;
+    }
+
+    /// `self - baseline` for every counter; used to carve an epoch's stats
+    /// out of running totals. Saturates at zero.
+    pub fn delta_since(&self, baseline: &CommStats) -> CommStats {
+        let mut out = CommStats::default();
+        for (kind, ks) in &self.per_kind {
+            let b = baseline.per_kind.get(kind).copied().unwrap_or_default();
+            let e = out.per_kind.entry(*kind).or_default();
+            e.bytes_sent = ks.bytes_sent.saturating_sub(b.bytes_sent);
+            e.messages = ks.messages.saturating_sub(b.messages);
+        }
+        out.comm_time = self.comm_time.saturating_sub(baseline.comm_time);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = CommStats::default();
+        s.record_send(CollectiveKind::Redistribute, 100);
+        s.record_send(CollectiveKind::Redistribute, 50);
+        s.record_send(CollectiveKind::Broadcast, 10);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.bytes(CollectiveKind::Redistribute), 150);
+        assert_eq!(s.messages(CollectiveKind::Broadcast), 1);
+        assert_eq!(s.bytes(CollectiveKind::Halo), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats::default();
+        a.record_send(CollectiveKind::AllReduce, 5);
+        let mut b = CommStats::default();
+        b.record_send(CollectiveKind::AllReduce, 7);
+        b.record_send(CollectiveKind::Halo, 2);
+        a.merge(&b);
+        assert_eq!(a.bytes(CollectiveKind::AllReduce), 12);
+        assert_eq!(a.bytes(CollectiveKind::Halo), 2);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut base = CommStats::default();
+        base.record_send(CollectiveKind::Broadcast, 10);
+        let mut now = base.clone();
+        now.record_send(CollectiveKind::Broadcast, 30);
+        now.record_send(CollectiveKind::Sampling, 4);
+        let d = now.delta_since(&base);
+        assert_eq!(d.bytes(CollectiveKind::Broadcast), 30);
+        assert_eq!(d.messages(CollectiveKind::Broadcast), 1);
+        assert_eq!(d.bytes(CollectiveKind::Sampling), 4);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the collective fabric: the algebraic contracts
+//! every trainer relies on, over randomized shapes and cluster sizes.
+
+use proptest::prelude::*;
+use rdm_comm::{Cluster, CollectiveKind};
+use rdm_dense::{allclose, part_range, Mat};
+
+const K: CollectiveKind = CollectiveKind::Other;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broadcast delivers a bit-identical copy to every rank, from any
+    /// root.
+    #[test]
+    fn broadcast_delivers_exact_copies(
+        p in 1usize..6,
+        root_pick in 0usize..6,
+        rows in 1usize..20,
+        cols in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let root = root_pick % p;
+        let payload = Mat::random(rows, cols, 1.0, seed);
+        let expect = payload.clone();
+        let out = Cluster::new(p).run(move |ctx| {
+            let m = (ctx.rank() == root).then(|| payload.clone());
+            ctx.broadcast(root, m, K)
+        });
+        for got in &out.results {
+            prop_assert_eq!(got, &expect);
+        }
+    }
+
+    /// All-to-all is an ownership transpose: received[i][j] on rank j
+    /// equals sent[j] by rank i.
+    #[test]
+    fn all_to_all_is_a_transpose(p in 1usize..6, seed in 0u64..500) {
+        let out = Cluster::new(p).run(move |ctx| {
+            let parts: Vec<Mat> = (0..p)
+                .map(|j| Mat::random(2, 2, 1.0, seed ^ ((ctx.rank() * 31 + j) as u64)))
+                .collect();
+            ctx.all_to_all(parts, K)
+        });
+        for (j, received) in out.results.iter().enumerate() {
+            for (i, m) in received.iter().enumerate() {
+                let expect = Mat::random(2, 2, 1.0, seed ^ ((i * 31 + j) as u64));
+                prop_assert_eq!(m, &expect, "rank {} from rank {}", j, i);
+            }
+        }
+    }
+
+    /// H→V followed by V→H restores every rank's row slice exactly, for
+    /// any matrix shape (including ones that do not divide P).
+    #[test]
+    fn redistribution_roundtrip(
+        p in 1usize..6,
+        n in 1usize..40,
+        f in 1usize..16,
+        seed in 0u64..500,
+    ) {
+        let global = Mat::random(n, f, 1.0, seed);
+        let g2 = global.clone();
+        let out = Cluster::new(p).run(move |ctx| {
+            let r = part_range(n, p, ctx.rank());
+            let local = g2.row_block(r.start, r.end);
+            let v = ctx.redistribute_h_to_v(&local, K);
+            ctx.redistribute_v_to_h(&v, K)
+        });
+        for (rank, got) in out.results.iter().enumerate() {
+            let r = part_range(n, p, rank);
+            prop_assert_eq!(got, &global.row_block(r.start, r.end));
+        }
+    }
+
+    /// The H→V redistribution moves exactly Σ_{r≠owner} bytes — never
+    /// more than (P-1)/P of the matrix, and exactly that when P divides
+    /// both dimensions.
+    #[test]
+    fn redistribution_volume_bounded(
+        p in 2usize..6,
+        n_mult in 1usize..6,
+        f_mult in 1usize..4,
+    ) {
+        let n = n_mult * p;
+        let f = f_mult * p;
+        let out = Cluster::new(p).run(move |ctx| {
+            let r = part_range(n, p, ctx.rank());
+            let local = Mat::zeros(r.len(), f);
+            ctx.redistribute_h_to_v(&local, CollectiveKind::Redistribute);
+        });
+        let total: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.bytes(CollectiveKind::Redistribute))
+            .sum();
+        let exact = ((p - 1) * n * f * 4 / p) as u64;
+        prop_assert_eq!(total, exact);
+    }
+
+    /// Ring and naive all-reduce agree numerically for any payload shape.
+    #[test]
+    fn ring_equals_naive_allreduce(
+        p in 1usize..6,
+        rows in 1usize..24,
+        cols in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let out = Cluster::new(p).run(move |ctx| {
+            let m = Mat::random(rows, cols, 1.0, seed ^ ctx.rank() as u64);
+            let naive = ctx.all_reduce_sum(m.clone(), K);
+            let ring = ctx.all_reduce_ring(m, K);
+            (naive, ring)
+        });
+        for (naive, ring) in &out.results {
+            prop_assert!(allclose(naive, ring, 1e-4));
+        }
+    }
+
+    /// All-gather returns every rank's contribution in rank order on
+    /// every rank.
+    #[test]
+    fn all_gather_order_and_content(p in 1usize..6, seed in 0u64..500) {
+        let out = Cluster::new(p).run(move |ctx| {
+            let part = Mat::random(1, 3, 1.0, seed ^ ctx.rank() as u64);
+            ctx.all_gather(part, K)
+        });
+        for parts in &out.results {
+            prop_assert_eq!(parts.len(), p);
+            for (i, m) in parts.iter().enumerate() {
+                let expect = Mat::random(1, 3, 1.0, seed ^ i as u64);
+                prop_assert_eq!(m, &expect);
+            }
+        }
+    }
+
+    /// Reduce-scatter sums exactly what each rank addressed to the
+    /// receiver.
+    #[test]
+    fn reduce_scatter_sums(p in 1usize..6, seed in 0u64..500) {
+        let out = Cluster::new(p).run(move |ctx| {
+            let parts: Vec<Mat> = (0..p)
+                .map(|j| Mat::random(2, 2, 1.0, seed ^ ((ctx.rank() * 17 + j) as u64)))
+                .collect();
+            ctx.reduce_scatter_sum(parts, K)
+        });
+        for (j, got) in out.results.iter().enumerate() {
+            let mut expect = Mat::zeros(2, 2);
+            for i in 0..p {
+                rdm_dense::add_assign(
+                    &mut expect,
+                    &Mat::random(2, 2, 1.0, seed ^ ((i * 17 + j) as u64)),
+                );
+            }
+            prop_assert!(allclose(got, &expect, 1e-5));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Distributed dense matrices.
+//!
+//! A [`DistMat`] is one rank's view of a global `rows × cols` matrix under
+//! one of three distributions (Fig. 2 of the paper):
+//!
+//! * `Replicated` — every rank holds the whole matrix (weights).
+//! * `Row` — rank `r` holds the balanced row slice `part_range(rows, P, r)`
+//!   ("horizontal" in the paper; what communication-free GEMM needs).
+//! * `Col` — rank `r` holds the balanced column slice ("vertical"; what
+//!   communication-free SpMM needs).
+//!
+//! [`FormCache`] keeps both layouts of the same logical tensor when both
+//! were materialized (e.g. an intermediate before and after a
+//! redistribution), which is how the backward pass reuses forward
+//! redistributions instead of paying for new ones (§III-C).
+
+use rdm_comm::{CollectiveKind, RankCtx};
+use rdm_dense::{part_range, Mat};
+
+/// How a global matrix is laid out across ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dist {
+    Replicated,
+    Row,
+    Col,
+}
+
+/// One rank's piece of a distributed matrix.
+#[derive(Clone, Debug)]
+pub struct DistMat {
+    pub dist: Dist,
+    /// Global shape.
+    pub rows: usize,
+    pub cols: usize,
+    /// This rank's local block.
+    pub local: Mat,
+}
+
+impl DistMat {
+    /// Wrap a fully replicated matrix.
+    pub fn replicated(local: Mat) -> Self {
+        DistMat {
+            dist: Dist::Replicated,
+            rows: local.rows(),
+            cols: local.cols(),
+            local,
+        }
+    }
+
+    /// Take this rank's row slice of a global matrix (setup only — real
+    /// training never materializes the global matrix on a rank).
+    pub fn scatter_rows(global: &Mat, p: usize, rank: usize) -> Self {
+        let r = part_range(global.rows(), p, rank);
+        DistMat {
+            dist: Dist::Row,
+            rows: global.rows(),
+            cols: global.cols(),
+            local: global.row_block(r.start, r.end),
+        }
+    }
+
+    /// Take this rank's column slice of a global matrix.
+    pub fn scatter_cols(global: &Mat, p: usize, rank: usize) -> Self {
+        let c = part_range(global.cols(), p, rank);
+        DistMat {
+            dist: Dist::Col,
+            rows: global.rows(),
+            cols: global.cols(),
+            local: global.col_block(c.start, c.end),
+        }
+    }
+
+    /// Wrap an already-local row slice.
+    pub fn from_row_slice(local: Mat, global_rows: usize) -> Self {
+        DistMat {
+            dist: Dist::Row,
+            rows: global_rows,
+            cols: local.cols(),
+            local,
+        }
+    }
+
+    /// Wrap an already-local column slice.
+    pub fn from_col_slice(local: Mat, global_cols: usize) -> Self {
+        DistMat {
+            dist: Dist::Col,
+            rows: local.rows(),
+            cols: global_cols,
+            local,
+        }
+    }
+
+    /// The global row range this rank owns under `Row` distribution.
+    pub fn my_rows(&self, ctx: &RankCtx) -> std::ops::Range<usize> {
+        assert_eq!(self.dist, Dist::Row);
+        part_range(self.rows, ctx.size(), ctx.rank())
+    }
+
+    /// The global column range this rank owns under `Col` distribution.
+    pub fn my_cols(&self, ctx: &RankCtx) -> std::ops::Range<usize> {
+        assert_eq!(self.dist, Dist::Col);
+        part_range(self.cols, ctx.size(), ctx.rank())
+    }
+
+    /// Redistribute to the other sliced layout (Row↔Col) with one
+    /// all-to-all, charging `kind`. Redistributing to the current layout
+    /// is a no-op clone.
+    pub fn redistribute(&self, ctx: &RankCtx, target: Dist, kind: CollectiveKind) -> DistMat {
+        match (self.dist, target) {
+            (a, b) if a == b => self.clone(),
+            (Dist::Row, Dist::Col) => DistMat {
+                dist: Dist::Col,
+                rows: self.rows,
+                cols: self.cols,
+                local: ctx.redistribute_h_to_v(&self.local, kind),
+            },
+            (Dist::Col, Dist::Row) => DistMat {
+                dist: Dist::Row,
+                rows: self.rows,
+                cols: self.cols,
+                local: ctx.redistribute_v_to_h(&self.local, kind),
+            },
+            (from, to) => panic!("unsupported redistribution {from:?} -> {to:?}"),
+        }
+    }
+
+    /// Gather the full global matrix onto every rank (tests and final
+    /// output collection only).
+    pub fn gather(&self, ctx: &RankCtx, kind: CollectiveKind) -> Mat {
+        match self.dist {
+            Dist::Replicated => self.local.clone(),
+            Dist::Row => {
+                let parts = ctx.all_gather(self.local.clone(), kind);
+                rdm_dense::vstack(&parts)
+            }
+            Dist::Col => {
+                let parts = ctx.all_gather(self.local.clone(), kind);
+                rdm_dense::hstack(&parts)
+            }
+        }
+    }
+}
+
+/// Both layouts of one logical tensor, populated lazily.
+///
+/// `require_*` returns the requested layout, redistributing (and caching)
+/// if only the other exists — the charge is visible in the rank's comm
+/// stats, so tests can assert which accesses were free.
+#[derive(Clone, Debug, Default)]
+pub struct FormCache {
+    pub row: Option<DistMat>,
+    pub col: Option<DistMat>,
+}
+
+impl FormCache {
+    /// Cache holding only a row-form tensor.
+    pub fn of_row(m: DistMat) -> Self {
+        assert_eq!(m.dist, Dist::Row);
+        FormCache {
+            row: Some(m),
+            col: None,
+        }
+    }
+
+    /// Cache holding only a col-form tensor.
+    pub fn of_col(m: DistMat) -> Self {
+        assert_eq!(m.dist, Dist::Col);
+        FormCache {
+            row: None,
+            col: Some(m),
+        }
+    }
+
+    /// Insert a layout (overwrites the slot).
+    pub fn put(&mut self, m: DistMat) {
+        match m.dist {
+            Dist::Row => self.row = Some(m),
+            Dist::Col => self.col = Some(m),
+            Dist::Replicated => panic!("FormCache stores sliced layouts only"),
+        }
+    }
+
+    /// True if the row form is already materialized.
+    pub fn has_row(&self) -> bool {
+        self.row.is_some()
+    }
+
+    /// True if the col form is already materialized.
+    pub fn has_col(&self) -> bool {
+        self.col.is_some()
+    }
+
+    /// Get the row form, converting from the tile/column form under the
+    /// given topology if needed.
+    pub fn require_row(
+        &mut self,
+        topo: &crate::ops::Topology,
+        ctx: &RankCtx,
+        kind: CollectiveKind,
+    ) -> &DistMat {
+        if self.row.is_none() {
+            let col = self
+                .col
+                .as_ref()
+                .expect("FormCache is empty: no layout to redistribute from");
+            self.row = Some(topo.tile_to_row(col, ctx, kind));
+        }
+        self.row.as_ref().unwrap()
+    }
+
+    /// Get the tile/column form, converting from the row form under the
+    /// given topology if needed.
+    pub fn require_col(
+        &mut self,
+        topo: &crate::ops::Topology,
+        ctx: &RankCtx,
+        kind: CollectiveKind,
+    ) -> &DistMat {
+        if self.col.is_none() {
+            let row = self
+                .row
+                .as_ref()
+                .expect("FormCache is empty: no layout to redistribute from");
+            self.col = Some(topo.row_to_tile(row, ctx, kind));
+        }
+        self.col.as_ref().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdm_comm::Cluster;
+
+    const K: CollectiveKind = CollectiveKind::Other;
+
+    #[test]
+    fn scatter_gather_roundtrip_rows_and_cols() {
+        let global = Mat::from_fn(10, 6, |i, j| (i * 10 + j) as f32);
+        let g = global.clone();
+        let out = Cluster::new(3).run(move |ctx| {
+            let r = DistMat::scatter_rows(&g, ctx.size(), ctx.rank());
+            let c = DistMat::scatter_cols(&g, ctx.size(), ctx.rank());
+            (r.gather(ctx, K), c.gather(ctx, K))
+        });
+        for (gr, gc) in &out.results {
+            assert_eq!(*gr, global);
+            assert_eq!(*gc, global);
+        }
+    }
+
+    #[test]
+    fn redistribute_row_to_col_and_back() {
+        let global = Mat::random(12, 8, 1.0, 3);
+        let g = global.clone();
+        let out = Cluster::new(4).run(move |ctx| {
+            let r = DistMat::scatter_rows(&g, ctx.size(), ctx.rank());
+            let c = r.redistribute(ctx, Dist::Col, K);
+            assert_eq!(c.dist, Dist::Col);
+            let r2 = c.redistribute(ctx, Dist::Row, K);
+            (c.gather(ctx, K), r2.gather(ctx, K))
+        });
+        for (gc, gr) in &out.results {
+            assert_eq!(*gc, global);
+            assert_eq!(*gr, global);
+        }
+    }
+
+    #[test]
+    fn redistribute_to_same_dist_is_free() {
+        let global = Mat::random(8, 8, 1.0, 4);
+        let out = Cluster::new(2).run(move |ctx| {
+            let r = DistMat::scatter_rows(&global, ctx.size(), ctx.rank());
+            let same = r.redistribute(ctx, Dist::Row, K);
+            assert_eq!(same.local, r.local);
+        });
+        for st in &out.stats {
+            assert_eq!(st.total_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn form_cache_redistributes_once_then_caches() {
+        let global = Mat::random(16, 8, 1.0, 5);
+        let adj = rdm_sparse::Csr::identity(16);
+        let out = Cluster::new(4).run(move |ctx| {
+            let topo = crate::ops::Topology::full(&adj, ctx);
+            let mut cache = FormCache::of_row(DistMat::scatter_rows(
+                &global,
+                ctx.size(),
+                ctx.rank(),
+            ));
+            assert!(!cache.has_col());
+            let before = ctx.stats_snapshot().total_bytes();
+            cache.require_col(&topo, ctx, K);
+            let after_first = ctx.stats_snapshot().total_bytes();
+            assert!(after_first > before, "first access must redistribute");
+            cache.require_col(&topo, ctx, K);
+            cache.require_row(&topo, ctx, K); // original form: free
+            let after_more = ctx.stats_snapshot().total_bytes();
+            assert_eq!(after_first, after_more, "later accesses must be free");
+        });
+        drop(out);
+    }
+
+    #[test]
+    fn my_rows_and_cols_match_part_range() {
+        let global = Mat::zeros(10, 10);
+        Cluster::new(3).run(move |ctx| {
+            let r = DistMat::scatter_rows(&global, ctx.size(), ctx.rank());
+            assert_eq!(r.my_rows(ctx), part_range(10, 3, ctx.rank()));
+            assert_eq!(r.local.rows(), r.my_rows(ctx).len());
+            let c = DistMat::scatter_cols(&global, ctx.size(), ctx.rank());
+            assert_eq!(c.my_cols(ctx), part_range(10, 3, ctx.rank()));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn empty_form_cache_panics_on_require() {
+        let adj = rdm_sparse::Csr::identity(4);
+        Cluster::new(2).run(|ctx| {
+            let topo = crate::ops::Topology::full(&adj, ctx);
+            let mut cache = FormCache::default();
+            cache.require_row(&topo, ctx, K);
+        });
+    }
+}

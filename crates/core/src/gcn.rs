@@ -1,0 +1,832 @@
+//! The RDM GCN engine: forward and backward passes that execute any
+//! SpMM/GEMM ordering (Table IV configuration) with communication-free
+//! products and explicit redistributions, on any adjacency replication
+//! factor `R_A` (Fig. 6 topology; `R_A = P` is full replication).
+//!
+//! The engine charges *exactly* the redistributions of §IV-A because layout
+//! conversions happen lazily through [`FormCache`]: an access that the plan
+//! made free (the needed layout already exists) moves no bytes, and an
+//! access the model prices (mismatched adjacent orders, intra-layer
+//! conversion, loss boundary, non-memoized weight gradient) triggers one
+//! group all-to-all tagged [`CollectiveKind::Redistribute`]. Under
+//! `R_A < P` the SpMM itself additionally broadcasts inside column groups
+//! (tagged `Broadcast`), per Table II's `R_A < P` rows.
+//!
+//! Two small traffic classes exist that Table IV ignores; both are tagged
+//! differently so measured `Redistribute` bytes stay model-exact:
+//!
+//! * weight-gradient ring all-reduces (`f_{l-1} × f_l`, tagged
+//!   `AllReduce`);
+//! * ReLU-mask alignment in configurations where the gradient and the
+//!   saved activation exist only in opposite layouts (tagged `Other`).
+
+use crate::dist::{Dist, DistMat, FormCache};
+use crate::ops::{dist_gemm, dist_gemm_nt, weight_grad, OpCounters, Topology};
+use crate::plan::Plan;
+use rdm_comm::{CollectiveKind, RankCtx};
+use rdm_dense::{relu, relu_backward, Mat};
+use rdm_model::Order;
+
+/// Replicated GCN weights, `w[l-1]` has shape `feats[l-1] × feats[l]`.
+#[derive(Clone, Debug)]
+pub struct GcnWeights {
+    pub w: Vec<Mat>,
+}
+
+impl GcnWeights {
+    /// Glorot-initialized weights, identical on every rank for a given
+    /// seed.
+    pub fn init(feats: &[usize], seed: u64) -> Self {
+        let w = feats
+            .windows(2)
+            .enumerate()
+            .map(|(l, pair)| Mat::glorot(pair[0], pair[1], seed.wrapping_add(l as u64)))
+            .collect();
+        GcnWeights { w }
+    }
+
+    /// Layer count.
+    pub fn layers(&self) -> usize {
+        self.w.len()
+    }
+
+    /// The `(rows, cols)` of every weight (for optimizer state).
+    pub fn shapes(&self) -> Vec<(usize, usize)> {
+        self.w.iter().map(|m| m.shape()).collect()
+    }
+}
+
+/// Everything the forward pass leaves behind for the backward pass.
+pub struct ForwardArtifacts {
+    /// `h[0]` is the input feature cache; `h[l]` the (activated) output of
+    /// layer `l`; `h[L]` holds the raw logits.
+    pub h: Vec<FormCache>,
+    /// Per layer, the forward SpMM intermediate `Â·H^{l-1}` when the layer
+    /// ran SpMM-first *and* the plan memoizes — the reuse of §III-C. Its
+    /// row form always exists (the intra-layer redistribution produced
+    /// it).
+    pub t_fwd: Vec<Option<FormCache>>,
+}
+
+impl ForwardArtifacts {
+    /// The logits as a row-sliced matrix, redistributing if the last layer
+    /// produced them tile-sliced (the loss boundary of §IV-A.1).
+    pub fn logits_row(&mut self, topo: &Topology, ctx: &RankCtx) -> DistMat {
+        let last = self.h.len() - 1;
+        self.h[last]
+            .require_row(topo, ctx, CollectiveKind::Redistribute)
+            .clone()
+    }
+}
+
+fn activate(mut z: DistMat, apply: bool) -> DistMat {
+    if apply {
+        z.local = relu(&z.local);
+    }
+    z
+}
+
+/// Run the forward pass of eq. (1)–(2) under `plan`.
+///
+/// `input` must hold *both* layouts of `H^0` (the initial distribution is
+/// free — data is loaded wherever the plan wants it, §IV-B).
+pub fn rdm_forward(
+    ctx: &RankCtx,
+    topo: &Topology,
+    input: FormCache,
+    weights: &GcnWeights,
+    plan: &Plan,
+    ops: &mut OpCounters,
+) -> ForwardArtifacts {
+    let layers = plan.config.layers();
+    assert_eq!(weights.layers(), layers, "weight/plan layer mismatch");
+    assert_eq!(
+        plan.r_a, topo.grid.r_a,
+        "plan replication factor does not match the topology"
+    );
+    let mut h: Vec<FormCache> = Vec::with_capacity(layers + 1);
+    h.push(input);
+    let mut t_fwd: Vec<Option<FormCache>> = (0..layers).map(|_| None).collect();
+    for l in 1..=layers {
+        let w = &weights.w[l - 1];
+        let is_last = l == layers;
+        let out = match plan.config.forward[l - 1] {
+            Order::SpmmFirst => {
+                // T = Â·H^{l-1} (needs the tile layout), then Z = T·W
+                // (needs row slices): one intra-layer redistribution of
+                // width f_{l-1}.
+                let input_tile = h[l - 1]
+                    .require_col(topo, ctx, CollectiveKind::Redistribute)
+                    .clone();
+                let t = topo.spmm(&input_tile, ctx, ops);
+                let mut tc = FormCache::of_col(t);
+                let t_row = tc
+                    .require_row(topo, ctx, CollectiveKind::Redistribute)
+                    .clone();
+                let z = dist_gemm(&t_row, w, ops);
+                if plan.memoize {
+                    t_fwd[l - 1] = Some(tc);
+                }
+                FormCache::of_row(activate(z, !is_last))
+            }
+            Order::GemmFirst => {
+                // T = H^{l-1}·W (row slices), then Z = Â·T (tile layout):
+                // one redistribution of width f_l.
+                let input_row = h[l - 1]
+                    .require_row(topo, ctx, CollectiveKind::Redistribute)
+                    .clone();
+                let t = dist_gemm(&input_row, w, ops);
+                let t_tile = topo.row_to_tile(&t, ctx, CollectiveKind::Redistribute);
+                let z = topo.spmm(&t_tile, ctx, ops);
+                FormCache::of_col(activate(z, !is_last))
+            }
+        };
+        h.push(out);
+    }
+    ForwardArtifacts { h, t_fwd }
+}
+
+/// Gradients produced by the backward pass.
+pub struct BackwardResult {
+    /// Replicated, already all-reduced weight gradients (one per layer).
+    pub weight_grads: Vec<Mat>,
+    /// Gradient with respect to the input features (`G^0` in Fig. 4).
+    pub g0: DistMat,
+}
+
+/// Run the backward pass of eq. (3)–(4) under `plan`, consuming the
+/// forward artifacts (their caches may gain layouts as reuse demands).
+#[allow(clippy::too_many_arguments)]
+pub fn rdm_backward(
+    ctx: &RankCtx,
+    topo: &Topology,
+    artifacts: &mut ForwardArtifacts,
+    weights: &GcnWeights,
+    plan: &Plan,
+    loss_grad: DistMat,
+    feats: &[usize],
+    ops: &mut OpCounters,
+) -> BackwardResult {
+    let layers = plan.config.layers();
+    assert_eq!(loss_grad.dist, Dist::Row, "loss gradient arrives row-sliced");
+    let mut g_cache = FormCache::of_row(loss_grad);
+    let mut weight_grads: Vec<Mat> = weights
+        .w
+        .iter()
+        .map(|w| Mat::zeros(w.rows(), w.cols()))
+        .collect();
+    let mut g0: Option<DistMat> = None;
+    for l in (1..=layers).rev() {
+        let w = &weights.w[l - 1];
+        // Stage 1: propagate the gradient through aggregation + weights.
+        let (g_prev_pre, t_b_row) = match plan.config.backward[l - 1] {
+            Order::SpmmFirst => {
+                // T = Â·Gˡ (tile layout), redistribute, then Gˡ⁻¹ = T·Wᵀ
+                // (row slices).
+                let g_tile = g_cache
+                    .require_col(topo, ctx, CollectiveKind::Redistribute)
+                    .clone();
+                let t = topo.spmm_bwd(&g_tile, ctx, ops);
+                let mut tc = FormCache::of_col(t);
+                let t_row = tc
+                    .require_row(topo, ctx, CollectiveKind::Redistribute)
+                    .clone();
+                let gp = dist_gemm_nt(&t_row, w, ops);
+                (gp, Some(t_row))
+            }
+            Order::GemmFirst => {
+                // T = Gˡ·Wᵀ (row slices), redistribute, then Gˡ⁻¹ = Â·T
+                // (tile layout).
+                let g_row = g_cache
+                    .require_row(topo, ctx, CollectiveKind::Redistribute)
+                    .clone();
+                let t = dist_gemm_nt(&g_row, w, ops);
+                let t_tile = topo.row_to_tile(&t, ctx, CollectiveKind::Redistribute);
+                let gp = topo.spmm_bwd(&t_tile, ctx, ops);
+                (gp, None)
+            }
+        };
+        // Stage 2: the weight gradient Yˡ (eq. 4).
+        weight_grads[l - 1] = compute_weight_grad(
+            ctx,
+            topo,
+            l,
+            artifacts,
+            &mut g_cache,
+            t_b_row.as_ref(),
+            feats,
+            ops,
+        );
+        // Stage 3: mask by σ'(Z^{l-1}) and hand off (no mask into the raw
+        // input features).
+        if l > 1 {
+            let masked = apply_relu_mask(ctx, topo, g_prev_pre, &mut artifacts.h[l - 1]);
+            g_cache = match masked.dist {
+                Dist::Row => FormCache::of_row(masked),
+                Dist::Col => FormCache::of_col(masked),
+                Dist::Replicated => unreachable!(),
+            };
+        } else {
+            g0 = Some(g_prev_pre);
+        }
+    }
+    BackwardResult {
+        weight_grads,
+        g0: g0.expect("layer 1 always produces G^0"),
+    }
+}
+
+/// Compute `Yˡ = (H^{l-1})ᵀ (Â Gˡ)` choosing the cheapest valid product
+/// (§III-C). For the symmetric GCN adjacency, `Yˡ = (Â H^{l-1})ᵀ Gˡ` is an
+/// equally valid form, which lets the memoized forward intermediate stand
+/// in for the backward SpMM.
+#[allow(clippy::too_many_arguments)]
+fn compute_weight_grad(
+    ctx: &RankCtx,
+    topo: &Topology,
+    l: usize,
+    artifacts: &mut ForwardArtifacts,
+    g_cache: &mut FormCache,
+    t_b_row: Option<&DistMat>,
+    feats: &[usize],
+    ops: &mut OpCounters,
+) -> Mat {
+    if let Some(t_b) = t_b_row {
+        // Backward was SpMM-first: Â·Gˡ is already in row form.
+        if artifacts.h[l - 1].has_row() {
+            let h_row = artifacts.h[l - 1].row.as_ref().unwrap();
+            return weight_grad(h_row, t_b, ctx, ops);
+        }
+        // H^{l-1} exists only tile-sliced; if the forward intermediate
+        // and the gradient have row forms, use Yˡ = (Â H^{l-1})ᵀ Gˡ.
+        if artifacts.t_fwd[l - 1].is_some() && g_cache.has_row() {
+            let t_f = artifacts.t_fwd[l - 1]
+                .as_mut()
+                .unwrap()
+                .require_row(topo, ctx, CollectiveKind::Redistribute)
+                .clone();
+            let g_row = g_cache.row.as_ref().unwrap();
+            return weight_grad(&t_f, g_row, ctx, ops);
+        }
+        // Pathological 3-layer-only case: pay one extra redistribution.
+        let h_row = artifacts.h[l - 1]
+            .require_row(topo, ctx, CollectiveKind::Redistribute)
+            .clone();
+        return weight_grad(&h_row, t_b, ctx, ops);
+    }
+    // Backward was GEMM-first. The gradient's row form exists (the GEMM
+    // consumed it).
+    let g_row = g_cache
+        .row
+        .as_ref()
+        .expect("GEMM-first consumed row form")
+        .clone();
+    if artifacts.t_fwd[l - 1].is_some() {
+        // Memoized: Yˡ = (Â H^{l-1})ᵀ Gˡ — zero extra sparse work.
+        let t_f = artifacts.t_fwd[l - 1]
+            .as_mut()
+            .unwrap()
+            .require_row(topo, ctx, CollectiveKind::Redistribute)
+            .clone();
+        return weight_grad(&t_f, &g_row, ctx, ops);
+    }
+    // Non-memoized (forward was GEMM-first, or memoization disabled): an
+    // extra SpMM of the cheaper width, plus redistributions around it
+    // (Table III, N.M.).
+    let f_in = feats[l - 1];
+    let f_out = feats[l];
+    if f_out <= f_in {
+        // Recompute T = Â·Gˡ.
+        let g_tile = g_cache
+            .require_col(topo, ctx, CollectiveKind::Redistribute)
+            .clone();
+        let t = topo.spmm_bwd(&g_tile, ctx, ops);
+        let mut tc = FormCache::of_col(t);
+        let t_row = tc
+            .require_row(topo, ctx, CollectiveKind::Redistribute)
+            .clone();
+        let h_row = artifacts.h[l - 1]
+            .require_row(topo, ctx, CollectiveKind::Redistribute)
+            .clone();
+        weight_grad(&h_row, &t_row, ctx, ops)
+    } else {
+        // Recompute T = Â·H^{l-1}.
+        let h_tile = artifacts.h[l - 1]
+            .require_col(topo, ctx, CollectiveKind::Redistribute)
+            .clone();
+        let t = topo.spmm(&h_tile, ctx, ops);
+        let mut tc = FormCache::of_col(t);
+        let t_row = tc
+            .require_row(topo, ctx, CollectiveKind::Redistribute)
+            .clone();
+        weight_grad(&t_row, &g_row, ctx, ops)
+    }
+}
+
+/// `G ⊙ σ'(Z)` using the saved activation (`σ'(z) = 1[relu(z) > 0]`),
+/// aligned to whichever layout the gradient is in. If the activation was
+/// never materialized in that layout, the mask is aligned with an
+/// all-to-all tagged `Other` (traffic the paper's model does not price —
+/// see the module docs).
+fn apply_relu_mask(
+    ctx: &RankCtx,
+    topo: &Topology,
+    mut g: DistMat,
+    h_cache: &mut FormCache,
+) -> DistMat {
+    let h = match g.dist {
+        Dist::Row => h_cache.require_row(topo, ctx, CollectiveKind::Other),
+        Dist::Col => h_cache.require_col(topo, ctx, CollectiveKind::Other),
+        Dist::Replicated => unreachable!("gradients are never replicated"),
+    };
+    g.local = relu_backward(&g.local, &h.local);
+    g
+}
+
+/// Serial (single-process) GCN forward/backward reference used by tests:
+/// plain dense/sparse algebra with no distribution at all.
+pub mod serial {
+    use super::GcnWeights;
+    use rdm_dense::{gemm, gemm_nt, gemm_tn, relu, relu_backward, Mat};
+    use rdm_sparse::{spmm, Csr};
+
+    /// Forward: returns per-layer activations (`h[0]` = input, `h[L]` =
+    /// logits).
+    pub fn forward(adj: &Csr, input: &Mat, weights: &GcnWeights) -> Vec<Mat> {
+        let mut h = vec![input.clone()];
+        let layers = weights.layers();
+        for l in 1..=layers {
+            let t = spmm(adj, &h[l - 1]);
+            let z = gemm(&t, &weights.w[l - 1]);
+            h.push(if l < layers { relu(&z) } else { z });
+        }
+        h
+    }
+
+    /// Backward from a logits gradient for a **symmetric** aggregation
+    /// matrix; returns (weight grads, input grad).
+    pub fn backward(
+        adj: &Csr,
+        h: &[Mat],
+        weights: &GcnWeights,
+        loss_grad: &Mat,
+    ) -> (Vec<Mat>, Mat) {
+        backward_asym(adj, h, weights, loss_grad)
+    }
+
+    /// Backward for a general aggregation matrix `M`: pass `Mᵀ` as
+    /// `adj_bwd` (equal to `M` in the symmetric GCN case). All adjacency
+    /// products in the backward pass are against the transpose:
+    /// `Gˡ⁻¹ = Mᵀ Gˡ Wᵀ ⊙ σ'` and `Yˡ = Hᵀ Mᵀ Gˡ`.
+    pub fn backward_asym(
+        adj_bwd: &Csr,
+        h: &[Mat],
+        weights: &GcnWeights,
+        loss_grad: &Mat,
+    ) -> (Vec<Mat>, Mat) {
+        let layers = weights.layers();
+        let mut grads = Vec::new();
+        let mut g = loss_grad.clone();
+        for l in (1..=layers).rev() {
+            let t = spmm(adj_bwd, &g); // Mᵀ·Gˡ
+            let y = gemm_tn(&h[l - 1], &t); // Hᵀ Mᵀ Gˡ
+            grads.push(y);
+            let mut gp = gemm_nt(&t, &weights.w[l - 1]);
+            if l > 1 {
+                gp = relu_backward(&gp, &h[l - 1]);
+            }
+            g = gp;
+        }
+        grads.reverse();
+        (grads, g)
+    }
+}
+
+/// Build the input [`FormCache`] for a topology: both layouts of the
+/// feature matrix, sliced locally (the initial distribution is free).
+pub fn input_cache(features: &Mat, topo: &Topology, ctx: &RankCtx) -> FormCache {
+    let mut c = FormCache::of_row(DistMat::scatter_rows(features, ctx.size(), ctx.rank()));
+    c.put(topo.scatter_tile(features, ctx));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{serial as loss_serial, softmax_xent, LossSpec};
+    use rdm_comm::Cluster;
+    use rdm_dense::allclose;
+    use rdm_graph::dataset::toy;
+    use rdm_model::OrderConfig;
+
+    /// Distributed forward under every 2-layer plan must equal the serial
+    /// forward.
+    #[test]
+    fn forward_matches_serial_for_all_16_configs() {
+        let ds = toy(60, 1);
+        let weights = GcnWeights::init(&[16, 8, 4], 7);
+        let serial_h = serial::forward(&ds.adj_norm, &ds.features, &weights);
+        let logits_ref = serial_h.last().unwrap().clone();
+        for id in 0..16 {
+            let plan = Plan::from_id(id, 2, 4);
+            let (adj, feats, w2, lr) = (
+                ds.adj_norm.clone(),
+                ds.features.clone(),
+                weights.clone(),
+                logits_ref.clone(),
+            );
+            let out = Cluster::new(4).run(move |ctx| {
+                let topo = Topology::full(&adj, ctx);
+                let mut ops = OpCounters::default();
+                let input = input_cache(&feats, &topo, ctx);
+                let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+                let logits = art.logits_row(&topo, ctx);
+                logits.gather(ctx, CollectiveKind::Other)
+            });
+            for got in &out.results {
+                assert!(
+                    allclose(got, &lr, 1e-3),
+                    "config ID {id} forward mismatch"
+                );
+            }
+        }
+    }
+
+    /// Distributed backward under every 2-layer plan must produce the same
+    /// weight gradients as the serial reference.
+    #[test]
+    fn backward_matches_serial_for_all_16_configs() {
+        let ds = toy(48, 2);
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 3);
+        let serial_h = serial::forward(&ds.adj_norm, &ds.features, &weights);
+        let mask = vec![true; ds.n()];
+        let (_, lg) = loss_serial::softmax_xent(serial_h.last().unwrap(), &ds.labels, &mask);
+        let (serial_grads, serial_g0) =
+            serial::backward(&ds.adj_norm, &serial_h, &weights, &lg);
+        for id in 0..16 {
+            let plan = Plan::from_id(id, 2, 4);
+            let (adj, feats, w2, labels) = (
+                ds.adj_norm.clone(),
+                ds.features.clone(),
+                weights.clone(),
+                ds.labels.clone(),
+            );
+            let fd = feats_dims.clone();
+            let m2 = mask.clone();
+            let out = Cluster::new(4).run(move |ctx| {
+                let topo = Topology::full(&adj, ctx);
+                let mut ops = OpCounters::default();
+                let input = input_cache(&feats, &topo, ctx);
+                let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+                let logits = art.logits_row(&topo, ctx);
+                let spec = LossSpec {
+                    labels: &labels,
+                    mask: &m2,
+                    num_classes: 4,
+                };
+                let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
+                let back =
+                    rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                let g0 = match back.g0.dist {
+                    Dist::Row => back.g0.gather(ctx, CollectiveKind::Other),
+                    Dist::Col => topo.gather_tile(&back.g0, ctx, CollectiveKind::Other),
+                    Dist::Replicated => unreachable!(),
+                };
+                (back.weight_grads, g0)
+            });
+            for (grads, g0) in &out.results {
+                for (l, (got, expect)) in grads.iter().zip(&serial_grads).enumerate() {
+                    assert!(
+                        allclose(got, expect, 1e-3),
+                        "config ID {id} weight grad layer {} mismatch",
+                        l + 1
+                    );
+                }
+                assert!(allclose(g0, &serial_g0, 1e-3), "config ID {id} g0 mismatch");
+            }
+        }
+    }
+
+    /// Three-layer plans must also match the serial reference.
+    #[test]
+    fn three_layer_forward_backward_matches_serial() {
+        let ds = toy(40, 5);
+        let feats_dims = vec![16usize, 12, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 11);
+        let serial_h = serial::forward(&ds.adj_norm, &ds.features, &weights);
+        let mask = vec![true; ds.n()];
+        let (_, lg) = loss_serial::softmax_xent(serial_h.last().unwrap(), &ds.labels, &mask);
+        let (serial_grads, _) = serial::backward(&ds.adj_norm, &serial_h, &weights, &lg);
+        // Sample of IDs including ones that hit the pathological reuse
+        // paths; running all 64 here would be slow in debug builds.
+        for id in [0usize, 5, 10, 21, 42, 63, 38, 27] {
+            let plan = Plan {
+                config: OrderConfig::from_id(id, 3),
+                r_a: 4,
+                memoize: true,
+            };
+            let (adj, feats, w2, labels) = (
+                ds.adj_norm.clone(),
+                ds.features.clone(),
+                weights.clone(),
+                ds.labels.clone(),
+            );
+            let fd = feats_dims.clone();
+            let m2 = mask.clone();
+            let out = Cluster::new(4).run(move |ctx| {
+                let topo = Topology::full(&adj, ctx);
+                let mut ops = OpCounters::default();
+                let input = input_cache(&feats, &topo, ctx);
+                let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+                let logits = art.logits_row(&topo, ctx);
+                let spec = LossSpec {
+                    labels: &labels,
+                    mask: &m2,
+                    num_classes: 4,
+                };
+                let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
+                let back =
+                    rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                back.weight_grads
+            });
+            for grads in &out.results {
+                for (l, (got, expect)) in grads.iter().zip(&serial_grads).enumerate() {
+                    assert!(
+                        allclose(got, expect, 1e-3),
+                        "3-layer ID {id} grad layer {} mismatch",
+                        l + 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// `R_A < P` (Fig. 6 topology): forward and backward still match the
+    /// serial reference, for all 16 configs on a 2×2 grid and a 4×2 grid.
+    #[test]
+    fn ra_topology_matches_serial_for_all_configs() {
+        let ds = toy(48, 9);
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 3);
+        let serial_h = serial::forward(&ds.adj_norm, &ds.features, &weights);
+        let mask = vec![true; ds.n()];
+        let (_, lg) = loss_serial::softmax_xent(serial_h.last().unwrap(), &ds.labels, &mask);
+        let (serial_grads, _) = serial::backward(&ds.adj_norm, &serial_h, &weights, &lg);
+        for (p, r_a) in [(4usize, 2usize), (8, 2), (8, 4)] {
+            for id in 0..16 {
+                let plan = Plan {
+                    config: OrderConfig::from_id(id, 2),
+                    r_a,
+                    memoize: true,
+                };
+                let (adj, feats, w2, labels) = (
+                    ds.adj_norm.clone(),
+                    ds.features.clone(),
+                    weights.clone(),
+                    ds.labels.clone(),
+                );
+                let fd = feats_dims.clone();
+                let m2 = mask.clone();
+                let out = Cluster::new(p).run(move |ctx| {
+                    let topo = Topology::new(&adj, r_a, ctx);
+                    let mut ops = OpCounters::default();
+                    let input = input_cache(&feats, &topo, ctx);
+                    let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+                    let logits = art.logits_row(&topo, ctx);
+                    let spec = LossSpec {
+                        labels: &labels,
+                        mask: &m2,
+                        num_classes: 4,
+                    };
+                    let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
+                    let back =
+                        rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                    back.weight_grads
+                });
+                for grads in &out.results {
+                    for (l, (got, expect)) in grads.iter().zip(&serial_grads).enumerate() {
+                        assert!(
+                            allclose(got, expect, 1e-3),
+                            "P={p} R_A={r_a} ID {id} grad layer {} mismatch",
+                            l + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Disabling memoization must not change the numerics, only the cost.
+    #[test]
+    fn no_memoize_same_gradients_more_spmm() {
+        let ds = toy(48, 4);
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 3);
+        // ID 8 = (F:SS, B:DS): layer 2 is S-forward, D-backward — the
+        // memoized case.
+        let run = |memoize: bool| {
+            let plan = Plan {
+                config: OrderConfig::from_id(8, 2),
+                r_a: 4,
+                memoize,
+            };
+            let (adj, feats, w2, labels) = (
+                ds.adj_norm.clone(),
+                ds.features.clone(),
+                weights.clone(),
+                ds.labels.clone(),
+            );
+            let fd = feats_dims.clone();
+            Cluster::new(4).run(move |ctx| {
+                let topo = Topology::full(&adj, ctx);
+                let mut ops = OpCounters::default();
+                let input = input_cache(&feats, &topo, ctx);
+                let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+                let logits = art.logits_row(&topo, ctx);
+                let mask = vec![true; labels.len()];
+                let spec = LossSpec {
+                    labels: &labels,
+                    mask: &mask,
+                    num_classes: 4,
+                };
+                let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
+                let back =
+                    rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                (back.weight_grads, ops)
+            })
+        };
+        let with = run(true);
+        let without = run(false);
+        for (a, b) in with.results.iter().zip(&without.results) {
+            for (ga, gb) in a.0.iter().zip(&b.0) {
+                assert!(allclose(ga, gb, 1e-4), "gradients changed with memoize off");
+            }
+            assert!(
+                b.1.spmm_fma > a.1.spmm_fma,
+                "no-memoize must pay extra SpMM: {} vs {}",
+                b.1.spmm_fma,
+                a.1.spmm_fma
+            );
+        }
+    }
+
+    /// The measured redistribution traffic of an epoch must equal the cost
+    /// model's prediction exactly, for representative configurations.
+    #[test]
+    fn measured_redistribution_matches_cost_model() {
+        let ds = toy(64, 3);
+        let p = 4;
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 5);
+        let shape = rdm_model::GnnShape {
+            n: ds.n(),
+            nnz: ds.adj_norm.nnz(),
+            feats: feats_dims.clone(),
+        };
+        for id in [0usize, 2, 3, 5, 8, 10, 12] {
+            let plan = Plan::from_id(id, 2, p);
+            let expect = rdm_model::cost::config_cost(&shape, &plan.config, p, p);
+            let (adj, feats, w2, labels) = (
+                ds.adj_norm.clone(),
+                ds.features.clone(),
+                weights.clone(),
+                ds.labels.clone(),
+            );
+            let fd = feats_dims.clone();
+            let out = Cluster::new(p).run(move |ctx| {
+                let topo = Topology::full(&adj, ctx);
+                let mut ops = OpCounters::default();
+                let input = input_cache(&feats, &topo, ctx);
+                let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+                let logits = art.logits_row(&topo, ctx);
+                let mask = vec![true; labels.len()];
+                let spec = LossSpec {
+                    labels: &labels,
+                    mask: &mask,
+                    num_classes: 4,
+                };
+                let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
+                let _ = rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                ops
+            });
+            let measured_bytes: u64 = out
+                .stats
+                .iter()
+                .map(|s| s.bytes(CollectiveKind::Redistribute))
+                .sum();
+            // The model counts elements; ×4 for f32 bytes. Balanced
+            // partition of 64 rows / 16·8·4 cols over 4 ranks is exact.
+            let expect_bytes = (expect.comm_elems * 4.0) as u64;
+            assert_eq!(
+                measured_bytes, expect_bytes,
+                "config ID {id}: measured {measured_bytes} vs model {expect_bytes}"
+            );
+            // SpMM op counts must match too.
+            let measured_spmm: f64 = out.results.iter().map(|o| o.spmm_fma).sum();
+            assert_eq!(measured_spmm, expect.spmm_ops, "config ID {id} spmm ops");
+        }
+    }
+
+    /// Under `R_A < P` the measured traffic (group redistributions +
+    /// panel broadcasts) must equal the Table II/III `R_A < P` model.
+    #[test]
+    fn ra_measured_traffic_matches_cost_model() {
+        let ds = toy(64, 6);
+        let p = 4;
+        let r_a = 2;
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 5);
+        let shape = rdm_model::GnnShape {
+            n: ds.n(),
+            nnz: ds.adj_norm.nnz(),
+            feats: feats_dims.clone(),
+        };
+        for id in [0usize, 5, 10] {
+            let plan = Plan {
+                config: OrderConfig::from_id(id, 2),
+                r_a,
+                memoize: true,
+            };
+            let expect = rdm_model::cost::config_cost(&shape, &plan.config, p, r_a);
+            let (adj, feats, w2, labels) = (
+                ds.adj_norm.clone(),
+                ds.features.clone(),
+                weights.clone(),
+                ds.labels.clone(),
+            );
+            let fd = feats_dims.clone();
+            let out = Cluster::new(p).run(move |ctx| {
+                let topo = Topology::new(&adj, r_a, ctx);
+                let mut ops = OpCounters::default();
+                let input = input_cache(&feats, &topo, ctx);
+                let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+                let logits = art.logits_row(&topo, ctx);
+                let mask = vec![true; labels.len()];
+                let spec = LossSpec {
+                    labels: &labels,
+                    mask: &mask,
+                    num_classes: 4,
+                };
+                let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
+                let _ = rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+            });
+            let measured: u64 = out
+                .stats
+                .iter()
+                .map(|s| {
+                    s.bytes(CollectiveKind::Redistribute) + s.bytes(CollectiveKind::Broadcast)
+                })
+                .sum();
+            let expect_bytes = (expect.comm_elems * 4.0) as u64;
+            assert_eq!(
+                measured, expect_bytes,
+                "R_A={r_a} config ID {id}: measured {measured} vs model {expect_bytes}"
+            );
+        }
+    }
+
+    /// ID 10 (the paper's running example) must move exactly 4·f_h units
+    /// and nothing else.
+    #[test]
+    fn id10_traffic_is_4fh_only() {
+        let ds = toy(64, 9);
+        let p = 4;
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 5);
+        let plan = Plan::from_id(10, 2, p);
+        let (adj, feats, w2, labels) = (
+            ds.adj_norm.clone(),
+            ds.features.clone(),
+            weights.clone(),
+            ds.labels.clone(),
+        );
+        let fd = feats_dims.clone();
+        let out = Cluster::new(p).run(move |ctx| {
+            let topo = Topology::full(&adj, ctx);
+            let mut ops = OpCounters::default();
+            let input = input_cache(&feats, &topo, ctx);
+            let mut art = rdm_forward(ctx, &topo, input, &w2, &plan, &mut ops);
+            let logits = art.logits_row(&topo, ctx);
+            let mask = vec![true; labels.len()];
+            let spec = LossSpec {
+                labels: &labels,
+                mask: &mask,
+                num_classes: 4,
+            };
+            let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
+            let _ = rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+        });
+        let redistribute: u64 = out
+            .stats
+            .iter()
+            .map(|s| s.bytes(CollectiveKind::Redistribute))
+            .sum();
+        // 4 · f_h · (P-1)/P · N elements × 4 bytes; N=64, f_h=8, P=4.
+        assert_eq!(redistribute as usize, 4 * (3 * 64 / 4) * 8 * 4);
+        // No broadcast traffic at all (fully replicated adjacency).
+        for st in &out.stats {
+            assert_eq!(st.bytes(CollectiveKind::Broadcast), 0);
+        }
+    }
+}

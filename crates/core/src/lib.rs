@@ -1,0 +1,39 @@
+//! GNN-RDM core: distributed GCN training by **ReDistribution of Matrices**.
+//!
+//! The crate implements the paper's contribution and every comparator:
+//!
+//! * [`dist`] — distributed dense matrices ([`DistMat`]: replicated /
+//!   row-sliced / column-sliced) and the form cache that tracks which
+//!   layouts of a tensor exist on a rank.
+//! * [`ops`] — FLOP-counted local kernels and the communication-free
+//!   distributed SpMM/GEMM primitives of Fig. 2, the row-panel replicated
+//!   SpMM of Fig. 6 (`R_A < P`), and the partial+all-reduce weight-gradient
+//!   GEMM.
+//! * [`loss`] — softmax cross-entropy over row-distributed embeddings.
+//! * [`adam`] — the Adam optimizer (replicated weights, deterministic).
+//! * [`plan`] — execution plans: per-layer SpMM/GEMM orders plus
+//!   memoization, and model-driven plan selection ([`best_plan`]).
+//! * [`gcn`] — the RDM forward/backward engine that executes any plan and
+//!   charges exactly the redistributions of §IV-A.
+//! * [`cagnet`] — the CAGNET 1D / 1.5D broadcast baselines.
+//! * [`dgcl`] — the vertex-partitioned, halo-exchange baseline (DGCL-like).
+//! * [`saint`] — GraphSAINT-RDM and GraphSAINT-DDP trainers (§V-C).
+//! * [`metrics`] / [`trainer`] — epoch accounting and the public
+//!   [`train_gcn`] entry point.
+
+pub mod adam;
+pub mod cagnet;
+pub mod dgcl;
+pub mod dist;
+pub mod gcn;
+pub mod loss;
+pub mod metrics;
+pub mod ops;
+pub mod plan;
+pub mod saint;
+pub mod trainer;
+
+pub use dist::{Dist, DistMat};
+pub use metrics::{EpochMetrics, TrainReport};
+pub use plan::{best_plan, LayerOrder, Plan};
+pub use trainer::{train_gcn, Algo, TrainerConfig};

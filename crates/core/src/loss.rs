@@ -1,0 +1,267 @@
+//! Softmax cross-entropy over row-distributed final embeddings.
+//!
+//! The loss "needs all the embeddings for a single vertex to be in the same
+//! process node" (§IV-A.1), which is why the RDM plan always delivers a
+//! row-sliced `H^L`. Each rank evaluates its own vertices; scalars are
+//! combined with a tiny all-reduce.
+
+use crate::dist::{Dist, DistMat};
+use rdm_comm::{CollectiveKind, RankCtx};
+use rdm_dense::{log_softmax_rows, softmax_rows, Mat};
+
+/// Which global vertices participate (train mask) and their labels.
+pub struct LossSpec<'a> {
+    /// Label of every global vertex.
+    pub labels: &'a [u32],
+    /// Mask of vertices contributing to the loss (the training set).
+    pub mask: &'a [bool],
+    pub num_classes: usize,
+}
+
+/// Mean softmax cross-entropy over masked vertices and its gradient with
+/// respect to the logits, evaluated on a row-sliced logits matrix. The
+/// returned gradient is row-sliced like the input; the scalar loss is
+/// identical on every rank.
+pub fn softmax_xent(
+    logits: &DistMat,
+    spec: &LossSpec<'_>,
+    ctx: &RankCtx,
+) -> (f32, DistMat) {
+    assert_eq!(logits.dist, Dist::Row, "loss needs row-sliced logits");
+    assert_eq!(spec.labels.len(), logits.rows);
+    assert_eq!(spec.mask.len(), logits.rows);
+    let my_rows = logits.my_rows(ctx);
+    let local = &logits.local;
+    let log_probs = log_softmax_rows(local);
+    let probs = softmax_rows(local);
+
+    let mut local_loss = 0.0f64;
+    let mut local_count = 0.0f64;
+    let mut grad = Mat::zeros(local.rows(), local.cols());
+    for (li, g) in my_rows.clone().enumerate() {
+        if !spec.mask[g] {
+            continue;
+        }
+        let y = spec.labels[g] as usize;
+        local_loss -= log_probs.get(li, y) as f64;
+        local_count += 1.0;
+        let grow = grad.row_mut(li);
+        grow.copy_from_slice(probs.row(li));
+        grow[y] -= 1.0;
+    }
+    // Combine (loss, count) across ranks with one small all-reduce.
+    let partial = Mat::from_vec(1, 2, vec![local_loss as f32, local_count as f32]);
+    let summed = ctx.all_reduce_sum(partial, CollectiveKind::AllReduce);
+    let total_count = summed.get(0, 1).max(1.0);
+    let loss = summed.get(0, 0) / total_count;
+    // Scale gradient by 1/total_count (mean reduction).
+    let inv = 1.0 / total_count;
+    rdm_dense::scale(&mut grad, inv);
+    (
+        loss,
+        DistMat {
+            dist: Dist::Row,
+            rows: logits.rows,
+            cols: logits.cols,
+            local: grad,
+        },
+    )
+}
+
+/// Classification accuracy of row-sliced logits over a masked vertex set;
+/// identical on every rank.
+pub fn accuracy(logits: &DistMat, labels: &[u32], mask: &[bool], ctx: &RankCtx) -> f32 {
+    assert_eq!(logits.dist, Dist::Row, "accuracy needs row-sliced logits");
+    let my_rows = logits.my_rows(ctx);
+    let mut correct = 0.0f32;
+    let mut count = 0.0f32;
+    for (li, g) in my_rows.enumerate() {
+        if !mask[g] {
+            continue;
+        }
+        count += 1.0;
+        let row = logits.local.row(li);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == labels[g] as usize {
+            correct += 1.0;
+        }
+    }
+    let partial = Mat::from_vec(1, 2, vec![correct, count]);
+    let summed = ctx.all_reduce_sum(partial, CollectiveKind::AllReduce);
+    summed.get(0, 0) / summed.get(0, 1).max(1.0)
+}
+
+/// Serial reference implementations for testing the distributed versions.
+pub mod serial {
+    use rdm_dense::{log_softmax_rows, softmax_rows, Mat};
+
+    /// Mean masked cross-entropy and its logits gradient.
+    pub fn softmax_xent(logits: &Mat, labels: &[u32], mask: &[bool]) -> (f32, Mat) {
+        let log_probs = log_softmax_rows(logits);
+        let probs = softmax_rows(logits);
+        let mut loss = 0.0f64;
+        let mut count = 0.0f64;
+        let mut grad = Mat::zeros(logits.rows(), logits.cols());
+        for i in 0..logits.rows() {
+            if !mask[i] {
+                continue;
+            }
+            let y = labels[i] as usize;
+            loss -= log_probs.get(i, y) as f64;
+            count += 1.0;
+            let grow = grad.row_mut(i);
+            grow.copy_from_slice(probs.row(i));
+            grow[y] -= 1.0;
+        }
+        let c = count.max(1.0);
+        rdm_dense::scale(&mut grad, 1.0 / c as f32);
+        ((loss / c) as f32, grad)
+    }
+
+    /// Masked argmax accuracy.
+    pub fn accuracy(logits: &Mat, labels: &[u32], mask: &[bool]) -> f32 {
+        let mut correct = 0.0;
+        let mut count = 0.0;
+        for i in 0..logits.rows() {
+            if !mask[i] {
+                continue;
+            }
+            count += 1.0;
+            let row = logits.row(i);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            if pred == labels[i] as usize {
+                correct += 1.0;
+            }
+        }
+        correct / f32::max(count, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdm_comm::Cluster;
+    use rdm_dense::allclose;
+
+    #[test]
+    fn distributed_loss_matches_serial() {
+        let n = 23;
+        let c = 5;
+        let logits = Mat::random(n, c, 2.0, 1);
+        let labels: Vec<u32> = (0..n as u32).map(|i| i % c as u32).collect();
+        let mask: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let (sl, sg) = serial::softmax_xent(&logits, &labels, &mask);
+        let (l2, lab2, m2) = (logits.clone(), labels.clone(), mask.clone());
+        let out = Cluster::new(4).run(move |ctx| {
+            let d = DistMat::scatter_rows(&l2, ctx.size(), ctx.rank());
+            let spec = LossSpec {
+                labels: &lab2,
+                mask: &m2,
+                num_classes: c,
+            };
+            let (loss, grad) = softmax_xent(&d, &spec, ctx);
+            (loss, grad.gather(ctx, CollectiveKind::Other))
+        });
+        for (loss, grad) in &out.results {
+            assert!((loss - sl).abs() < 1e-5, "loss {loss} vs serial {sl}");
+            assert!(allclose(grad, &sg, 1e-5));
+        }
+    }
+
+    #[test]
+    fn loss_gradient_rows_sum_to_zero_on_masked() {
+        // softmax - onehot sums to 0 across classes.
+        let n = 12;
+        let logits = Mat::random(n, 4, 1.0, 3);
+        let labels = vec![1u32; n];
+        let mask = vec![true; n];
+        let (_, g) = serial::softmax_xent(&logits, &labels, &mask);
+        for i in 0..n {
+            let s: f32 = g.row(i).iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unmasked_rows_have_zero_gradient() {
+        let logits = Mat::random(6, 3, 1.0, 4);
+        let labels = vec![0u32; 6];
+        let mut mask = vec![true; 6];
+        mask[2] = false;
+        let (_, g) = serial::softmax_xent(&logits, &labels, &mask);
+        assert!(g.row(2).iter().all(|&v| v == 0.0));
+        assert!(g.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn distributed_accuracy_matches_serial() {
+        let n = 31;
+        let c = 4;
+        let logits = Mat::random(n, c, 1.0, 5);
+        let labels: Vec<u32> = (0..n as u32).map(|i| (i * 7) % c as u32).collect();
+        let mask: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let expect = serial::accuracy(&logits, &labels, &mask);
+        let (l2, lab2, m2) = (logits.clone(), labels.clone(), mask.clone());
+        let out = Cluster::new(3).run(move |ctx| {
+            let d = DistMat::scatter_rows(&l2, ctx.size(), ctx.rank());
+            accuracy(&d, &lab2, &m2, ctx)
+        });
+        for acc in &out.results {
+            assert!((acc - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_logits_give_accuracy_one_and_low_loss() {
+        let n = 10;
+        let c = 3;
+        let labels: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let logits = Mat::from_fn(n, c, |i, j| {
+            if j == labels[i] as usize {
+                10.0
+            } else {
+                -10.0
+            }
+        });
+        let mask = vec![true; n];
+        let (loss, _) = serial::softmax_xent(&logits, &labels, &mask);
+        assert!(loss < 1e-3);
+        assert_eq!(serial::accuracy(&logits, &labels, &mask), 1.0);
+    }
+
+    #[test]
+    fn gradient_is_finite_difference_of_loss() {
+        // Check d loss / d logits numerically at a few positions.
+        let n = 5;
+        let c = 4;
+        let logits = Mat::random(n, c, 1.0, 8);
+        let labels = vec![2u32, 0, 1, 3, 2];
+        let mask = vec![true, true, false, true, true];
+        let (_, grad) = serial::softmax_xent(&logits, &labels, &mask);
+        let eps = 1e-3f32;
+        for (i, j) in [(0, 1), (1, 0), (3, 3), (4, 2)] {
+            let mut plus = logits.clone();
+            plus.set(i, j, plus.get(i, j) + eps);
+            let (lp, _) = serial::softmax_xent(&plus, &labels, &mask);
+            let mut minus = logits.clone();
+            minus.set(i, j, minus.get(i, j) - eps);
+            let (lm, _) = serial::softmax_xent(&minus, &labels, &mask);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.get(i, j)).abs() < 1e-2,
+                "grad({i},{j}) analytic {} vs numeric {numeric}",
+                grad.get(i, j)
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Epoch-level measurement records.
+
+use crate::ops::OpCounters;
+use rdm_comm::{CollectiveKind, CommStats};
+use rdm_model::{DeviceModel, MeasuredRank, Predicted};
+use std::time::Duration;
+
+/// What one rank recorded during one epoch (returned from inside the SPMD
+/// closure; aggregated into [`EpochMetrics`] by the trainer).
+#[derive(Clone, Debug)]
+pub struct RankEpoch {
+    pub loss: f32,
+    pub train_acc: f32,
+    pub test_acc: f32,
+    /// Wall time of the whole epoch on this rank.
+    pub wall: Duration,
+    /// Wall time spent inside communication calls.
+    pub comm_wall: Duration,
+    /// Bytes/messages this rank sent this epoch.
+    pub comm: CommStats,
+    /// FMA counts this epoch.
+    pub ops: OpCounters,
+    /// The Table-IV ordering this epoch executed (RDM trainers; `None`
+    /// for the fixed-order baselines).
+    pub plan_id: Option<usize>,
+}
+
+/// One epoch, aggregated over ranks.
+#[derive(Clone, Debug)]
+pub struct EpochMetrics {
+    pub epoch: usize,
+    pub loss: f32,
+    pub train_acc: f32,
+    pub test_acc: f32,
+    /// Slowest rank's wall time (the epoch's real duration).
+    pub wall: Duration,
+    /// Slowest rank's communication wall time.
+    pub comm_wall: Duration,
+    /// Total bytes moved between ranks, all kinds.
+    pub total_bytes: u64,
+    /// Total bytes by collective kind, summed over ranks.
+    pub comm: CommStats,
+    /// Global FMA counts (summed over ranks).
+    pub ops: OpCounters,
+    /// Simulated timing on the paper's device (slowest rank).
+    pub sim: Predicted,
+    /// The Table-IV ordering this epoch executed, when applicable.
+    pub plan_id: Option<usize>,
+}
+
+impl EpochMetrics {
+    /// Aggregate per-rank records under a device model.
+    pub fn from_ranks(epoch: usize, ranks: &[RankEpoch], device: &DeviceModel) -> Self {
+        assert!(!ranks.is_empty());
+        let mut comm = CommStats::default();
+        for r in ranks {
+            comm.merge(&r.comm);
+        }
+        let measured: Vec<MeasuredRank> = ranks
+            .iter()
+            .map(|r| {
+                // Held-out evaluation traffic is not part of the training
+                // epoch the paper times.
+                let eval_b = r.comm.bytes(CollectiveKind::Eval);
+                let eval_m = r.comm.messages(CollectiveKind::Eval);
+                MeasuredRank {
+                    spmm_fma: r.ops.spmm_fma,
+                    gemm_fma: r.ops.gemm_fma,
+                    bytes_sent: r.comm.total_bytes() - eval_b,
+                    messages: r.comm.total_messages() - eval_m,
+                }
+            })
+            .collect();
+        let sim = device.epoch_from_measured(&measured);
+        let mut ops = OpCounters::default();
+        for r in ranks {
+            ops.add(r.ops);
+        }
+        EpochMetrics {
+            plan_id: ranks[0].plan_id,
+            epoch,
+            loss: ranks[0].loss,
+            train_acc: ranks[0].train_acc,
+            test_acc: ranks[0].test_acc,
+            wall: ranks.iter().map(|r| r.wall).max().unwrap(),
+            comm_wall: ranks.iter().map(|r| r.comm_wall).max().unwrap(),
+            total_bytes: comm.total_bytes(),
+            comm,
+            ops,
+            sim,
+        }
+    }
+
+    /// Bytes attributed to plan-level redistributions.
+    pub fn redistribution_bytes(&self) -> u64 {
+        self.comm.bytes(CollectiveKind::Redistribute)
+    }
+
+    /// Bytes attributed to SpMM-internal broadcasts (CAGNET / `R_A < P`).
+    pub fn broadcast_bytes(&self) -> u64 {
+        self.comm.bytes(CollectiveKind::Broadcast)
+    }
+}
+
+/// A whole training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Human-readable description of the algorithm and its parameters.
+    pub algo: String,
+    pub dataset: String,
+    pub p: usize,
+    pub epochs: Vec<EpochMetrics>,
+}
+
+impl TrainReport {
+    /// Mean simulated epoch time over all epochs, seconds.
+    pub fn mean_sim_epoch_s(&self) -> f64 {
+        self.epochs.iter().map(|e| e.sim.total_s).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Mean simulated communication time per epoch, seconds.
+    pub fn mean_sim_comm_s(&self) -> f64 {
+        self.epochs.iter().map(|e| e.sim.comm_s).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Simulated training throughput (epochs / second), the paper's
+    /// headline metric (arithmetic mean, as in §V-A).
+    pub fn sim_epochs_per_sec(&self) -> f64 {
+        1.0 / self.mean_sim_epoch_s()
+    }
+
+    /// Mean measured wall time per epoch, seconds.
+    pub fn mean_wall_epoch_s(&self) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| e.wall.as_secs_f64())
+            .sum::<f64>()
+            / self.epochs.len() as f64
+    }
+
+    /// Final test accuracy.
+    pub fn final_test_acc(&self) -> f32 {
+        self.epochs.last().map(|e| e.test_acc).unwrap_or(0.0)
+    }
+
+    /// Mean inter-rank traffic per epoch, bytes.
+    pub fn mean_bytes_per_epoch(&self) -> f64 {
+        self.epochs.iter().map(|e| e.total_bytes as f64).sum::<f64>()
+            / self.epochs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank(ms: u64, bytes: usize, spmm: f64) -> RankEpoch {
+        let mut comm = CommStats::default();
+        comm.record_send(CollectiveKind::Redistribute, bytes);
+        RankEpoch {
+            plan_id: None,
+            loss: 1.0,
+            train_acc: 0.5,
+            test_acc: 0.4,
+            wall: Duration::from_millis(ms),
+            comm_wall: Duration::from_millis(ms / 4),
+            comm,
+            ops: OpCounters {
+                spmm_fma: spmm,
+                gemm_fma: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregate_takes_max_wall_and_sums_bytes() {
+        let device = DeviceModel::a6000_pcie();
+        let m = EpochMetrics::from_ranks(3, &[rank(10, 100, 1e6), rank(30, 200, 2e6)], &device);
+        assert_eq!(m.epoch, 3);
+        assert_eq!(m.wall, Duration::from_millis(30));
+        assert_eq!(m.total_bytes, 300);
+        assert_eq!(m.ops.spmm_fma, 3e6);
+        assert!(m.sim.total_s > 0.0);
+        assert_eq!(m.redistribution_bytes(), 300);
+        assert_eq!(m.broadcast_bytes(), 0);
+    }
+
+    #[test]
+    fn report_means() {
+        let device = DeviceModel::a6000_pcie();
+        let e1 = EpochMetrics::from_ranks(0, &[rank(10, 100, 1e6)], &device);
+        let e2 = EpochMetrics::from_ranks(1, &[rank(20, 300, 1e6)], &device);
+        let r = TrainReport {
+            algo: "test".into(),
+            dataset: "toy".into(),
+            p: 1,
+            epochs: vec![e1, e2],
+        };
+        assert!((r.mean_wall_epoch_s() - 0.015).abs() < 1e-9);
+        assert_eq!(r.mean_bytes_per_epoch(), 200.0);
+        assert!(r.sim_epochs_per_sec() > 0.0);
+        assert_eq!(r.final_test_acc(), 0.4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Execution plans and model-driven plan selection (§IV-B).
+
+use rdm_model::{pareto_configs, DeviceModel, GnnShape, Order, OrderConfig};
+use serde::{Deserialize, Serialize};
+
+/// Re-export: the per-layer, per-pass order (SpMM-first / GEMM-first).
+pub type LayerOrder = Order;
+
+/// A complete execution plan for the RDM trainer: the SpMM/GEMM ordering
+/// plus the adjacency replication factor.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plan {
+    pub config: OrderConfig,
+    /// Adjacency replication factor; `r_a == p` means full replication
+    /// (the common case on the paper's 48 GB GPUs). Must divide `P`.
+    pub r_a: usize,
+    /// Save `Â·H^{l-1}` from SpMM-first forward layers for reuse by
+    /// GEMM-first backward layers (§III-C). Disabling trades the saved
+    /// memory for an extra SpMM — the ablation Table III's N.M. rows
+    /// price.
+    pub memoize: bool,
+}
+
+impl Plan {
+    /// Plan from a Table-IV configuration ID with full replication.
+    pub fn from_id(id: usize, layers: usize, p: usize) -> Self {
+        Plan {
+            config: OrderConfig::from_id(id, layers),
+            r_a: p,
+            memoize: true,
+        }
+    }
+
+    /// The CAGNET-equivalent all-SpMM-first plan.
+    pub fn all_spmm_first(layers: usize, p: usize) -> Self {
+        Plan {
+            config: OrderConfig::all_spmm_first(layers),
+            r_a: p,
+            memoize: true,
+        }
+    }
+
+    /// Same plan with a different replication factor.
+    pub fn with_ra(mut self, r_a: usize) -> Self {
+        self.r_a = r_a;
+        self
+    }
+
+    /// Same plan with memoization disabled.
+    pub fn no_memoize(mut self) -> Self {
+        self.memoize = false;
+        self
+    }
+
+    /// Table-IV ID of the ordering.
+    pub fn id(&self) -> usize {
+        self.config.id()
+    }
+}
+
+/// Pick the best plan for a shape on `p` ranks: enumerate all orderings,
+/// keep the Pareto-optimal ones (communication × SpMM ops), then rank them
+/// with the device model — the automated version of the paper's "execute
+/// every Pareto-optimal candidate for a few epochs and keep the fastest".
+pub fn best_plan(shape: &GnnShape, p: usize) -> Plan {
+    best_plan_with(shape, p, &DeviceModel::a6000_pcie())
+}
+
+/// [`best_plan`] with an explicit device model.
+pub fn best_plan_with(shape: &GnnShape, p: usize, device: &DeviceModel) -> Plan {
+    let candidates = pareto_configs(shape, p, p);
+    let best = candidates
+        .into_iter()
+        .min_by(|(_, a), (_, b)| {
+            let ta = device.predict(a, p, 0.0).total_s;
+            let tb = device.predict(b, p, 0.0).total_s;
+            ta.partial_cmp(&tb).unwrap()
+        })
+        .expect("pareto set is never empty")
+        .0;
+    Plan {
+        config: best,
+        r_a: p,
+        memoize: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_plan_is_pareto_member() {
+        let shape = GnnShape::gcn(10_000, 100_000, 602, 128, 41, 2);
+        let plan = best_plan(&shape, 8);
+        let pareto: Vec<usize> = rdm_model::pareto_ids(&shape, 8, 8);
+        assert!(
+            pareto.contains(&plan.id()),
+            "chosen {} not in pareto {pareto:?}",
+            plan.id()
+        );
+    }
+
+    #[test]
+    fn reddit_shape_prefers_low_comm_candidate() {
+        // Reddit's Pareto set is {2, 3, 10}; with SpMM far slower than
+        // GEMM and nnz/N huge, the device model should not pick an option
+        // dominated on sparse ops.
+        let shape = GnnShape::gcn(232_965, 114_848_857, 602, 128, 41, 2);
+        let plan = best_plan(&shape, 8);
+        assert!([2, 3, 10].contains(&plan.id()), "picked {}", plan.id());
+    }
+
+    #[test]
+    fn from_id_roundtrip() {
+        let p = Plan::from_id(10, 2, 8);
+        assert_eq!(p.id(), 10);
+        assert_eq!(p.r_a, 8);
+    }
+
+    #[test]
+    fn three_layer_plans_supported() {
+        let shape = GnnShape::gcn(10_000, 100_000, 128, 128, 40, 3);
+        let plan = best_plan(&shape, 4);
+        assert_eq!(plan.config.layers(), 3);
+        assert!(plan.id() < 64);
+    }
+}

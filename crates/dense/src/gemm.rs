@@ -1,0 +1,236 @@
+//! Blocked, rayon-parallel GEMM kernels.
+//!
+//! Three orientations cover every dense product in a GCN layer:
+//!
+//! * [`gemm`]    — `C = A·B`   (the linear layer `H·W`)
+//! * [`gemm_tn`] — `C = Aᵀ·B`  (weight gradients `Hᵀ·(A G)`)
+//! * [`gemm_nt`] — `C = A·Bᵀ`  (gradient propagation `G·Wᵀ`)
+//!
+//! All kernels parallelize over disjoint row panels of `C` with rayon, so
+//! they are race-free by construction; within a panel the `i-k-j` loop order
+//! keeps the inner loop a contiguous axpy over rows of `B` (or a dot product
+//! for the transposed variants), which the compiler auto-vectorizes.
+
+use crate::mat::Mat;
+use rayon::prelude::*;
+
+/// Rows of `C` per parallel task. Large enough to amortize task overhead,
+/// small enough to load-balance skewed shapes.
+const ROW_PANEL: usize = 64;
+
+/// `C = A · B`, allocating the output.
+///
+/// # Panics
+/// If `A.cols() != B.rows()`.
+pub fn gemm(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    gemm_acc(a, b, &mut c);
+    c
+}
+
+/// `C += A · B` into an existing output.
+pub fn gemm_acc(a: &Mat, b: &Mat, c: &mut Mat) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm: A is {m}x{k} but B is {kb}x{n}");
+    assert_eq!(c.shape(), (m, n), "gemm: C shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_PANEL * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let i0 = panel * ROW_PANEL;
+            let rows_here = c_panel.len() / n;
+            for ii in 0..rows_here {
+                let i = i0 + ii;
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let c_row = &mut c_panel[ii * n..(ii + 1) * n];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        });
+}
+
+/// `C = Aᵀ · B`, allocating the output (`A: k×m`, `B: k×n`, `C: m×n`).
+pub fn gemm_tn(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.cols(), b.cols());
+    gemm_tn_acc(a, b, &mut c);
+    c
+}
+
+/// `C += Aᵀ · B`.
+///
+/// Parallelized over row panels of `C` (i.e. column panels of `A`): each
+/// task scans all `k` rows of `A`/`B` but only touches its own columns of
+/// `A`, keeping writes disjoint.
+pub fn gemm_tn_acc(a: &Mat, b: &Mat, c: &mut Mat) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm_tn: A is {k}x{m} but B is {kb}x{n}");
+    assert_eq!(c.shape(), (m, n), "gemm_tn: C shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    // Weight-gradient shapes have small m, n (feature dims) and large k
+    // (vertices): panels of C rows correspond to strided columns of A.
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_PANEL.max(1) * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let i0 = panel * ROW_PANEL;
+            let rows_here = c_panel.len() / n;
+            for kk in 0..k {
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                let a_row = &a_data[kk * m..(kk + 1) * m];
+                for ii in 0..rows_here {
+                    let aik = a_row[i0 + ii];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c_panel[ii * n..(ii + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        });
+}
+
+/// `C = A · Bᵀ`, allocating the output (`A: m×k`, `B: n×k`, `C: m×n`).
+///
+/// The inner loop is a dot product of two contiguous length-`k` rows.
+pub fn gemm_nt(a: &Mat, b: &Mat) -> Mat {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "gemm_nt: A is {m}x{k} but B is {n}x{kb}");
+    let mut c = Mat::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_PANEL * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let i0 = panel * ROW_PANEL;
+            let rows_here = c_panel.len() / n;
+            for ii in 0..rows_here {
+                let a_row = &a_data[(i0 + ii) * k..(i0 + ii + 1) * k];
+                let c_row = &mut c_panel[ii * n..(ii + 1) * n];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b_data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *cv += acc;
+                }
+            }
+        });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::allclose;
+
+    fn gemm_ref(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_small_known() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_matches_reference_odd_shapes() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (65, 33, 17), (130, 4, 129)] {
+            let a = Mat::random(m, k, 1.0, (m * k) as u64);
+            let b = Mat::random(k, n, 1.0, (k * n + 1) as u64);
+            assert!(allclose(&gemm(&a, &b), &gemm_ref(&a, &b), 1e-4));
+        }
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = Mat::random(20, 20, 1.0, 9);
+        assert!(allclose(&gemm(&a, &Mat::eye(20)), &a, 1e-6));
+        assert!(allclose(&gemm(&Mat::eye(20), &a), &a, 1e-6));
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = Mat::random(8, 8, 1.0, 1);
+        let b = Mat::random(8, 8, 1.0, 2);
+        let mut c = gemm(&a, &b);
+        gemm_acc(&a, &b, &mut c);
+        let mut twice = gemm(&a, &b);
+        for v in twice.as_mut_slice() {
+            *v *= 2.0;
+        }
+        assert!(allclose(&c, &twice, 1e-4));
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = Mat::random(50, 13, 1.0, 3);
+        let b = Mat::random(50, 9, 1.0, 4);
+        let expect = gemm_ref(&a.transpose(), &b);
+        assert!(allclose(&gemm_tn(&a, &b), &expect, 1e-4));
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = Mat::random(41, 13, 1.0, 5);
+        let b = Mat::random(23, 13, 1.0, 6);
+        let expect = gemm_ref(&a, &b.transpose());
+        assert!(allclose(&gemm_nt(&a, &b), &expect, 1e-4));
+    }
+
+    #[test]
+    fn gemm_empty_dims() {
+        let a = Mat::zeros(0, 4);
+        let b = Mat::zeros(4, 3);
+        assert_eq!(gemm(&a, &b).shape(), (0, 3));
+        let a = Mat::zeros(3, 0);
+        let b = Mat::zeros(0, 2);
+        let c = gemm(&a, &b);
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gemm_shape_mismatch_panics() {
+        let _ = gemm(&Mat::zeros(2, 3), &Mat::zeros(4, 2));
+    }
+}

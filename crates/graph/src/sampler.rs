@@ -1,0 +1,201 @@
+//! GraphSAINT subgraph samplers (Zeng et al., ICLR 2020).
+//!
+//! GraphSAINT trains on a stream of small subgraphs sampled from the full
+//! graph. The three samplers from the paper are provided: uniform node
+//! sampling, edge sampling (probability ∝ `1/deg(u) + 1/deg(v)`), and
+//! random-walk sampling (roots + fixed-length walks). Each returns the
+//! vertex set; the caller induces the subgraph via [`crate::Dataset::induced`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdm_sparse::Csr;
+use serde::{Deserialize, Serialize};
+
+/// A sampled subgraph: the selected vertices (sorted, deduplicated,
+/// original ids).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subgraph {
+    pub vertices: Vec<u32>,
+}
+
+/// GraphSAINT sampling strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SaintSampler {
+    /// Uniformly sample `budget` distinct vertices.
+    Node { budget: usize },
+    /// Sample `budget` edges with probability ∝ `1/deg(u) + 1/deg(v)`,
+    /// take their endpoints.
+    Edge { budget: usize },
+    /// `roots` random roots, each walking `walk_len` steps; take all
+    /// visited vertices.
+    RandomWalk { roots: usize, walk_len: usize },
+}
+
+impl SaintSampler {
+    /// Draw one subgraph from `adj` (symmetric adjacency).
+    pub fn sample(&self, adj: &Csr, seed: u64) -> Subgraph {
+        let n = adj.rows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut picked = std::collections::BTreeSet::new();
+        match *self {
+            SaintSampler::Node { budget } => {
+                let budget = budget.min(n);
+                while picked.len() < budget {
+                    picked.insert(rng.gen_range(0..n as u32));
+                }
+            }
+            SaintSampler::Edge { budget } => {
+                // Weighted edge sampling via rejection on the degree-based
+                // weight, normalized by its maximum.
+                let degs = adj.row_degrees();
+                let inv = |v: u32| 1.0 / degs[v as usize].max(1) as f64;
+                let nnz = adj.nnz();
+                if nnz == 0 {
+                    // Degenerate graph: fall back to node sampling.
+                    return SaintSampler::Node { budget: budget.min(n) }.sample(adj, seed);
+                }
+                let indptr = adj.indptr();
+                // Row lookup by nonzero position (binary search on indptr).
+                let row_of = |pos: usize| -> u32 {
+                    indptr.partition_point(|&x| x <= pos) as u32 - 1
+                };
+                let max_w = 2.0; // 1/deg ≤ 1 each
+                let mut accepted = 0;
+                let mut attempts = 0;
+                while accepted < budget && attempts < budget * 64 {
+                    attempts += 1;
+                    let pos = rng.gen_range(0..nnz);
+                    let u = row_of(pos);
+                    let v = adj.indices()[pos];
+                    let w = inv(u) + inv(v);
+                    if rng.gen::<f64>() < w / max_w {
+                        picked.insert(u);
+                        picked.insert(v);
+                        accepted += 1;
+                    }
+                }
+            }
+            SaintSampler::RandomWalk { roots, walk_len } => {
+                for _ in 0..roots {
+                    let mut v = rng.gen_range(0..n as u32);
+                    picked.insert(v);
+                    for _ in 0..walk_len {
+                        let (neigh, _) = adj.row(v as usize);
+                        if neigh.is_empty() {
+                            break;
+                        }
+                        v = neigh[rng.gen_range(0..neigh.len())];
+                        picked.insert(v);
+                    }
+                }
+            }
+        }
+        Subgraph {
+            vertices: picked.into_iter().collect(),
+        }
+    }
+
+    /// Expected subgraph size (used to plan batches per epoch).
+    pub fn nominal_size(&self) -> usize {
+        match *self {
+            SaintSampler::Node { budget } => budget,
+            SaintSampler::Edge { budget } => 2 * budget,
+            SaintSampler::RandomWalk { roots, walk_len } => roots * (walk_len + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, symmetrize};
+
+    fn graph() -> Csr {
+        symmetrize(500, &rmat(500, 4000, 2))
+    }
+
+    #[test]
+    fn node_sampler_exact_budget_distinct_sorted() {
+        let g = graph();
+        let sub = SaintSampler::Node { budget: 100 }.sample(&g, 1);
+        assert_eq!(sub.vertices.len(), 100);
+        assert!(sub.vertices.windows(2).all(|w| w[0] < w[1]));
+        assert!(sub.vertices.iter().all(|&v| (v as usize) < 500));
+    }
+
+    #[test]
+    fn node_sampler_budget_clamped_to_n() {
+        let g = graph();
+        let sub = SaintSampler::Node { budget: 10_000 }.sample(&g, 1);
+        assert_eq!(sub.vertices.len(), 500);
+    }
+
+    #[test]
+    fn edge_sampler_returns_endpoints() {
+        let g = graph();
+        let sub = SaintSampler::Edge { budget: 80 }.sample(&g, 3);
+        assert!(!sub.vertices.is_empty());
+        assert!(sub.vertices.len() <= 160);
+        assert!(sub.vertices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn edge_sampler_favors_low_degree_endpoints() {
+        // With weight 1/deg(u)+1/deg(v), low-degree vertices appear in
+        // samples disproportionately to their edge share. Compare the mean
+        // degree of sampled vertices to the edge-weighted mean degree.
+        let g = graph();
+        let degs = g.row_degrees();
+        let sub = SaintSampler::Edge { budget: 400 }.sample(&g, 5);
+        let sampled_mean: f64 = sub
+            .vertices
+            .iter()
+            .map(|&v| degs[v as usize] as f64)
+            .sum::<f64>()
+            / sub.vertices.len() as f64;
+        // Edge-weighted mean degree (what uniform edge sampling would give).
+        let edge_weighted: f64 = degs.iter().map(|&d| (d * d) as f64).sum::<f64>()
+            / degs.iter().map(|&d| d as f64).sum::<f64>();
+        assert!(
+            sampled_mean < edge_weighted,
+            "sampled mean {sampled_mean} not below edge-weighted {edge_weighted}"
+        );
+    }
+
+    #[test]
+    fn random_walk_visits_connected_vertices() {
+        let g = graph();
+        let sub = SaintSampler::RandomWalk {
+            roots: 10,
+            walk_len: 5,
+        }
+        .sample(&g, 7);
+        assert!(!sub.vertices.is_empty());
+        assert!(sub.vertices.len() <= 60);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let g = graph();
+        for s in [
+            SaintSampler::Node { budget: 50 },
+            SaintSampler::Edge { budget: 30 },
+            SaintSampler::RandomWalk {
+                roots: 5,
+                walk_len: 4,
+            },
+        ] {
+            assert_eq!(s.sample(&g, 11), s.sample(&g, 11));
+            assert_ne!(s.sample(&g, 11), s.sample(&g, 12));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_from_sampler_is_valid() {
+        let d = crate::dataset::toy(300, 1);
+        let sub = SaintSampler::Node { budget: 60 }.sample(&d.adj, 2);
+        let ds = d.induced(&sub.vertices);
+        assert_eq!(ds.n(), 60);
+        ds.adj_norm.validate().unwrap();
+    }
+}

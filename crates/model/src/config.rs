@@ -1,0 +1,208 @@
+//! SpMM/GEMM ordering configurations and the paper's ID encoding.
+
+use serde::{Deserialize, Serialize};
+
+/// Which operation runs first inside one layer of one pass (§III-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Order {
+    /// SpMM first (`S` in Table IV): aggregate, then apply the weight.
+    SpmmFirst,
+    /// GEMM first (`D`): apply the weight, then aggregate.
+    GemmFirst,
+}
+
+impl Order {
+    /// Paper notation: `S` or `D`.
+    pub fn letter(self) -> char {
+        match self {
+            Order::SpmmFirst => 'S',
+            Order::GemmFirst => 'D',
+        }
+    }
+
+    fn bit(self) -> usize {
+        match self {
+            Order::SpmmFirst => 0,
+            Order::GemmFirst => 1,
+        }
+    }
+
+    fn from_bit(b: usize) -> Self {
+        if b == 0 {
+            Order::SpmmFirst
+        } else {
+            Order::GemmFirst
+        }
+    }
+}
+
+/// A full ordering for an `L`-layer GCN: one [`Order`] per layer for the
+/// forward pass (index 0 = layer 1) and one per layer for the backward pass
+/// (index 0 = layer 1; the backward pass *executes* layers in descending
+/// order).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrderConfig {
+    pub forward: Vec<Order>,
+    pub backward: Vec<Order>,
+}
+
+impl OrderConfig {
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        debug_assert_eq!(self.forward.len(), self.backward.len());
+        self.forward.len()
+    }
+
+    /// The all-SpMM-first configuration (CAGNET's fixed order).
+    pub fn all_spmm_first(layers: usize) -> Self {
+        OrderConfig {
+            forward: vec![Order::SpmmFirst; layers],
+            backward: vec![Order::SpmmFirst; layers],
+        }
+    }
+
+    /// The paper's configuration ID.
+    ///
+    /// For 2 layers this matches Table IV exactly:
+    /// `ID = 8·B2 + 4·B1 + 2·F1 + F2` with `S = 0`, `D = 1` (verified
+    /// against every formula row and against the text's statement that
+    /// ID 10 is the dense–sparse–dense–sparse path). The generalization
+    /// packs bits MSB→LSB as `[B_L … B_1, F_1 … F_L]`.
+    pub fn id(&self) -> usize {
+        let l = self.layers();
+        let mut id = 0;
+        for i in 0..l {
+            // B_L is the most significant bit.
+            id = (id << 1) | self.backward[l - 1 - i].bit();
+        }
+        for i in 0..l {
+            id = (id << 1) | self.forward[i].bit();
+        }
+        id
+    }
+
+    /// Inverse of [`OrderConfig::id`].
+    ///
+    /// # Panics
+    /// If `id >= 4^layers`.
+    pub fn from_id(id: usize, layers: usize) -> Self {
+        assert!(id < 1 << (2 * layers), "id {id} out of range for {layers} layers");
+        let mut forward = Vec::with_capacity(layers);
+        let mut backward = vec![Order::SpmmFirst; layers];
+        for i in 0..layers {
+            let shift = layers - 1 - i;
+            forward.push(Order::from_bit((id >> shift) & 1));
+        }
+        for (i, b) in backward.iter_mut().enumerate() {
+            // B_1 sits just above the forward bits; B_L is the MSB.
+            let shift = layers + i;
+            *b = Order::from_bit((id >> shift) & 1);
+        }
+        OrderConfig { forward, backward }
+    }
+
+    /// Every configuration for `layers` layers, ordered by ID
+    /// (`4^layers` of them; the paper's `O(L·2^L)`-per-entry table).
+    pub fn enumerate(layers: usize) -> Vec<OrderConfig> {
+        (0..1usize << (2 * layers))
+            .map(|id| OrderConfig::from_id(id, layers))
+            .collect()
+    }
+
+    /// Whether the forward SpMM output of layer `l` (1-based) must be
+    /// memoized for the backward pass: true when the forward pass computes
+    /// `AᵀH^{l-1}` (SpMM-first) and the backward pass is GEMM-first, which
+    /// otherwise would need an extra SpMM for the weight gradient (§III-C).
+    pub fn memoize_forward_spmm(&self, layer: usize) -> bool {
+        self.forward[layer - 1] == Order::SpmmFirst
+            && self.backward[layer - 1] == Order::GemmFirst
+    }
+
+    /// Paper-style rendering, e.g. `F:DS B:DS` for ID 10.
+    pub fn display(&self) -> String {
+        let f: String = self.forward.iter().map(|o| o.letter()).collect();
+        let b: String = self
+            .backward
+            .iter()
+            .rev()
+            .map(|o| o.letter())
+            .collect();
+        format!("F:{f} B:{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Order::*;
+
+    #[test]
+    fn id_roundtrip_2_layers() {
+        for id in 0..16 {
+            assert_eq!(OrderConfig::from_id(id, 2).id(), id);
+        }
+    }
+
+    #[test]
+    fn id_roundtrip_3_layers() {
+        for id in 0..64 {
+            assert_eq!(OrderConfig::from_id(id, 3).id(), id);
+        }
+    }
+
+    #[test]
+    fn id10_is_dense_sparse_dense_sparse() {
+        // §III-C: "The red arrows show the dense-sparse-dense-sparse
+        // ordering (corresponds to ID 10 in Table IV)" — i.e. forward
+        // (D, S), backward executed as (D, S) = B2 dense-first, B1
+        // sparse-first.
+        let c = OrderConfig::from_id(10, 2);
+        assert_eq!(c.forward, vec![GemmFirst, SpmmFirst]);
+        assert_eq!(c.backward, vec![SpmmFirst, GemmFirst]); // [B1, B2]
+        assert_eq!(c.display(), "F:DS B:DS");
+    }
+
+    #[test]
+    fn id0_is_all_spmm_first() {
+        let c = OrderConfig::from_id(0, 2);
+        assert_eq!(c, OrderConfig::all_spmm_first(2));
+    }
+
+    #[test]
+    fn enumerate_is_exhaustive_and_unique() {
+        let all = OrderConfig::enumerate(2);
+        assert_eq!(all.len(), 16);
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.id(), i);
+        }
+        let all3 = OrderConfig::enumerate(3);
+        assert_eq!(all3.len(), 64);
+    }
+
+    #[test]
+    fn memoization_rule() {
+        // Memoize exactly when forward is S and backward is D for a layer.
+        let c = OrderConfig {
+            forward: vec![SpmmFirst, GemmFirst],
+            backward: vec![GemmFirst, GemmFirst],
+        };
+        assert!(c.memoize_forward_spmm(1));
+        assert!(!c.memoize_forward_spmm(2)); // forward was D: nothing to save
+        let c2 = OrderConfig::all_spmm_first(2);
+        assert!(!c2.memoize_forward_spmm(1)); // backward S reuses A·G instead
+    }
+
+    #[test]
+    fn id_bit_layout_2_layers() {
+        // ID = 8·B2 + 4·B1 + 2·F1 + F2
+        for id in 0..16usize {
+            let c = OrderConfig::from_id(id, 2);
+            let b2 = c.backward[1].bit();
+            let b1 = c.backward[0].bit();
+            let f1 = c.forward[0].bit();
+            let f2 = c.forward[1].bit();
+            assert_eq!(id, 8 * b2 + 4 * b1 + 2 * f1 + f2);
+        }
+    }
+
+}

@@ -1,0 +1,209 @@
+//! The calibrated device model.
+//!
+//! The paper's testbed is 8 × NVIDIA RTX A6000 (PCIe 4.0, no NVLink)
+//! driven through NCCL. We have no GPUs, so simulated time is computed
+//! from *measured* operation and byte counts using effective rates:
+//!
+//! * GEMM: dense fp32 matmul on an A6000 sustains ~10 TFMA/s with cuBLAS.
+//! * SpMM: memory-bound CSR SpMM on power-law graphs sustains two orders
+//!   of magnitude less — ~60 GFMA/s — which is exactly why the paper says
+//!   the aggregation step dominates (the paper's ref. 14, and its §I).
+//! * Links: PCIe 4.0 ×16 moves ~20 GB/s effective per GPU with ~20 µs
+//!   per-message latency through NCCL.
+//!
+//! The absolute numbers are calibration constants; every claim the
+//! experiments reproduce (who wins, how speedups scale with `P`) depends
+//! only on their *ratios*, which are set by the hardware class, not the
+//! specific board.
+
+use crate::cost::Cost;
+use serde::{Deserialize, Serialize};
+
+/// Effective execution rates of one device and its interconnect.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Sustained dense FMA/s.
+    pub gemm_fma_per_sec: f64,
+    /// Sustained sparse FMA/s.
+    pub spmm_fma_per_sec: f64,
+    /// Effective link bandwidth per rank, bytes/s.
+    pub link_bytes_per_sec: f64,
+    /// Per-message latency, seconds.
+    pub msg_latency: f64,
+    /// Fixed per-epoch framework overhead, seconds (kernel launches,
+    /// optimizer step, Python-side glue in the original systems).
+    pub epoch_overhead: f64,
+}
+
+impl DeviceModel {
+    /// The paper's 8×A6000 PCIe node.
+    ///
+    /// `epoch_overhead` is zero: simulated time covers kernel and link
+    /// time only, so ratios reflect measured op/byte counts directly.
+    /// (A fixed per-epoch framework overhead would be realistic for
+    /// PyTorch but, on scaled-down datasets, swamps exactly the
+    /// communication differences the experiments measure.)
+    pub fn a6000_pcie() -> Self {
+        DeviceModel {
+            gemm_fma_per_sec: 1.0e13,
+            spmm_fma_per_sec: 6.0e10,
+            link_bytes_per_sec: 2.0e10,
+            // NCCL's real per-message latency is ~20 µs; the harness runs
+            // datasets scaled down ~15–60× in volume, so the latency is
+            // scaled in proportion to keep the latency/bandwidth balance
+            // of the full-size system.
+            msg_latency: 1.0e-6,
+            epoch_overhead: 0.0,
+        }
+    }
+
+    /// Seconds to execute the given FMA counts on one device.
+    pub fn compute_time(&self, spmm_fma: f64, gemm_fma: f64) -> f64 {
+        spmm_fma / self.spmm_fma_per_sec + gemm_fma / self.gemm_fma_per_sec
+    }
+
+    /// Seconds to move `bytes` in `msgs` messages through one rank's link.
+    pub fn comm_time(&self, bytes: f64, msgs: f64) -> f64 {
+        bytes / self.link_bytes_per_sec + msgs * self.msg_latency
+    }
+
+    /// Predicted epoch time breakdown for a *global* cost executed on `p`
+    /// ranks, assuming perfect balance: each rank executes `1/p` of the
+    /// compute and ships `1/p` of the communication volume.
+    pub fn predict(&self, cost: &Cost, p: usize, msgs_per_epoch: f64) -> Predicted {
+        let compute = self.compute_time(cost.spmm_ops / p as f64, cost.gemm_ops / p as f64);
+        let comm = self.comm_time(cost.comm_elems * 4.0 / p as f64, msgs_per_epoch);
+        Predicted {
+            compute_s: compute,
+            comm_s: comm,
+            total_s: compute + comm + self.epoch_overhead,
+        }
+    }
+
+    /// Epoch time from *measured* per-rank quantities; the epoch finishes
+    /// when the slowest rank does.
+    pub fn epoch_from_measured(&self, per_rank: &[MeasuredRank]) -> Predicted {
+        let mut worst = Predicted::default();
+        for r in per_rank {
+            let compute = self.compute_time(r.spmm_fma, r.gemm_fma);
+            let comm = self.comm_time(r.bytes_sent as f64, r.messages as f64);
+            let total = compute + comm + self.epoch_overhead;
+            if total > worst.total_s {
+                worst = Predicted {
+                    compute_s: compute,
+                    comm_s: comm,
+                    total_s: total,
+                };
+            }
+        }
+        worst
+    }
+}
+
+/// What one rank did during an epoch (filled from `rdm-comm` stats and the
+/// executors' op counters).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MeasuredRank {
+    pub spmm_fma: f64,
+    pub gemm_fma: f64,
+    pub bytes_sent: u64,
+    pub messages: u64,
+}
+
+/// A simulated epoch-time breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Predicted {
+    pub compute_s: f64,
+    pub comm_s: f64,
+    pub total_s: f64,
+}
+
+impl Predicted {
+    /// Training throughput in epochs per second.
+    pub fn epochs_per_sec(&self) -> f64 {
+        1.0 / self.total_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OrderConfig;
+    use crate::cost::{config_cost, GnnShape};
+
+    #[test]
+    fn spmm_is_slower_than_gemm_per_op() {
+        let d = DeviceModel::a6000_pcie();
+        assert!(d.spmm_fma_per_sec < d.gemm_fma_per_sec / 50.0);
+    }
+
+    #[test]
+    fn predict_splits_work_by_p() {
+        let d = DeviceModel::a6000_pcie();
+        let cost = Cost {
+            comm_elems: 0.0,
+            spmm_ops: 1e9,
+            gemm_ops: 1e9,
+        };
+        let p1 = d.predict(&cost, 1, 0.0);
+        let p4 = d.predict(&cost, 4, 0.0);
+        let c1 = p1.total_s - d.epoch_overhead;
+        let c4 = p4.total_s - d.epoch_overhead;
+        assert!((c1 / c4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rdm_scales_better_than_broadcast_scheme() {
+        // The headline result in miniature: simulated speedup of RDM over
+        // an R_A = 1 broadcast scheme must grow with P.
+        let d = DeviceModel::a6000_pcie();
+        let shape = GnnShape::gcn(2_000_000, 60_000_000, 128, 128, 47, 2);
+        let rdm_cfg = OrderConfig::from_id(5, 2);
+        let cag_cfg = OrderConfig::all_spmm_first(2);
+        let mut prev_speedup = 0.0;
+        for p in [2usize, 4, 8] {
+            let rdm = d.predict(&config_cost(&shape, &rdm_cfg, p, p), p, 40.0);
+            let cag = d.predict(&config_cost(&shape, &cag_cfg, p, 1), p, 40.0);
+            let speedup = cag.total_s / rdm.total_s;
+            assert!(
+                speedup > prev_speedup,
+                "speedup {speedup} at P={p} not above {prev_speedup}"
+            );
+            prev_speedup = speedup;
+        }
+        assert!(prev_speedup > 1.5, "8-GPU speedup only {prev_speedup}");
+    }
+
+    #[test]
+    fn measured_epoch_takes_slowest_rank() {
+        let d = DeviceModel::a6000_pcie();
+        let ranks = vec![
+            MeasuredRank {
+                spmm_fma: 1e8,
+                gemm_fma: 0.0,
+                bytes_sent: 0,
+                messages: 0,
+            },
+            MeasuredRank {
+                spmm_fma: 5e8,
+                gemm_fma: 0.0,
+                bytes_sent: 1 << 20,
+                messages: 4,
+            },
+        ];
+        let pred = d.epoch_from_measured(&ranks);
+        let slow = d.compute_time(5e8, 0.0);
+        assert!(pred.compute_s == slow);
+        assert!(pred.total_s > slow);
+    }
+
+    #[test]
+    fn epochs_per_sec_inverts_total() {
+        let p = Predicted {
+            compute_s: 0.2,
+            comm_s: 0.3,
+            total_s: 0.5,
+        };
+        assert!((p.epochs_per_sec() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! The analytical performance model of GNN-RDM.
+//!
+//! Everything here is a pure function of the GNN shape
+//! (`N`, `nnz`, feature widths), the cluster size `P`, the adjacency
+//! replication factor `R_A`, and the per-layer SpMM/GEMM ordering — no I/O,
+//! no execution. The same quantities are measured by `rdm-comm`'s byte
+//! counters during real runs, and integration tests assert the two agree
+//! exactly.
+//!
+//! * [`config`] — orderings (`S`/`D` per layer per pass), the paper's ID
+//!   encoding, enumeration of all `2^{2L}` configurations.
+//! * [`layer`] — per-layer cost entries (Tables II and III), including the
+//!   `R_A < P` row-tiling variants and the non-memoized penalty.
+//! * [`cost`] — whole-network cost (communication elements, SpMM ops, GEMM
+//!   ops) and the Pareto filter (Table VI).
+//! * [`symbolic`] — symbolic 2-layer costs as linear combinations of
+//!   `f_in, f_h, f_out, min(…)` terms, regenerating Table IV.
+//! * [`memory`] — the per-GPU space model (Table X).
+//! * [`device`] — the calibrated device model translating op counts and
+//!   byte counts into simulated seconds on the paper's 8×A6000 node.
+
+pub mod config;
+pub mod cost;
+pub mod device;
+pub mod layer;
+pub mod memory;
+pub mod symbolic;
+
+pub use config::{Order, OrderConfig};
+pub use cost::{pareto_configs, pareto_ids, Cost, GnnShape};
+pub use device::{DeviceModel, MeasuredRank, Predicted};
+pub use layer::LayerDims;
+pub use memory::{cagnet_bytes_per_gpu, max_replication, rdm_bytes_per_gpu, MemoryParams};
+pub use symbolic::{table4, Table4Row};

@@ -1,0 +1,138 @@
+//! Per-GPU space model (§V-D, Table X).
+//!
+//! CAGNET's 1D scheme stores `1/P` of the adjacency and `1/P` of every
+//! activation; GNN-RDM with replication factor `R_A` stores `R_A/P` of the
+//! adjacency plus the same activation share. Weights are replicated on
+//! every GPU in both schemes but are negligible (`f×f` blocks).
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the space model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MemoryParams {
+    /// Vertices.
+    pub n: usize,
+    /// Nonzeros of the normalized adjacency (after symmetrization and
+    /// self-loops).
+    pub nnz: usize,
+    /// Sum of all boundary feature widths (`f_in + f_h(s) + f_out`).
+    pub feat_sum: usize,
+    /// Ranks.
+    pub p: usize,
+}
+
+/// Bytes of one CSR adjacency copy: 4-byte values + 4-byte column indices
+/// + 8-byte row pointers.
+pub fn adjacency_bytes(n: usize, nnz: usize) -> usize {
+    nnz * 8 + (n + 1) * 8
+}
+
+/// Bytes of all dense activations (`N × feat_sum`, f32).
+pub fn activation_bytes(n: usize, feat_sum: usize) -> usize {
+    n * feat_sum * 4
+}
+
+/// Per-GPU bytes for CAGNET 1D: `|A|/P + |H_all|/P`.
+pub fn cagnet_bytes_per_gpu(mp: MemoryParams) -> usize {
+    adjacency_bytes(mp.n, mp.nnz) / mp.p + activation_bytes(mp.n, mp.feat_sum) / mp.p
+}
+
+/// Per-GPU bytes for GNN-RDM with replication `R_A`:
+/// `R_A·|A|/P + |H_all|/P`.
+pub fn rdm_bytes_per_gpu(mp: MemoryParams, r_a: usize) -> usize {
+    assert!(r_a >= 1 && r_a <= mp.p, "R_A must be in 1..=P");
+    r_a * adjacency_bytes(mp.n, mp.nnz) / mp.p + activation_bytes(mp.n, mp.feat_sum) / mp.p
+}
+
+/// The largest replication factor that fits in `mem_bytes` of device
+/// memory (§III-E): `R_A = P·(M - H_all) / G`, clamped to `[1, P]` and to
+/// divisors-of-P for grid feasibility.
+pub fn max_replication(mp: MemoryParams, mem_bytes: usize) -> usize {
+    let h_per_gpu = activation_bytes(mp.n, mp.feat_sum) / mp.p;
+    let g = adjacency_bytes(mp.n, mp.nnz);
+    if mem_bytes <= h_per_gpu || g == 0 {
+        return 1;
+    }
+    let budget = (mem_bytes - h_per_gpu) as f64 * mp.p as f64;
+    let r = (budget / g as f64).floor() as usize;
+    let r = r.clamp(1, mp.p);
+    // Round down to a divisor of P (the 2-D grid needs P_j = R_A | P).
+    (1..=r).rev().find(|d| mp.p.is_multiple_of(*d)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table V / Table X: OGB-Arxiv on 8 GPUs. CAGNET 26 MB,
+    /// RDM 28/32/39 MB for R_A = 2/4/8. The model should land within ~25%
+    /// of each printed value (the paper includes framework overheads we
+    /// do not model).
+    #[test]
+    fn table10_arxiv_within_tolerance() {
+        let mp = MemoryParams {
+            n: 169_343,
+            // Symmetrized edges + self loops roughly double the raw count.
+            nnz: 2 * 1_166_243 + 169_343,
+            feat_sum: 128 + 128 + 40,
+            p: 8,
+        };
+        let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+        let cagnet = mb(cagnet_bytes_per_gpu(mp));
+        assert!((cagnet - 26.0).abs() / 26.0 < 0.25, "CAGNET {cagnet} MB");
+        for (r_a, paper) in [(2usize, 28.0f64), (4, 32.0), (8, 39.0)] {
+            let got = mb(rdm_bytes_per_gpu(mp, r_a));
+            assert!(
+                (got - paper).abs() / paper < 0.25,
+                "R_A={r_a}: {got} MB vs paper {paper} MB"
+            );
+        }
+    }
+
+    #[test]
+    fn rdm_with_ra_1_equals_cagnet() {
+        let mp = MemoryParams {
+            n: 10_000,
+            nnz: 100_000,
+            feat_sum: 300,
+            p: 8,
+        };
+        assert_eq!(rdm_bytes_per_gpu(mp, 1), cagnet_bytes_per_gpu(mp));
+    }
+
+    #[test]
+    fn memory_monotone_in_replication() {
+        let mp = MemoryParams {
+            n: 10_000,
+            nnz: 100_000,
+            feat_sum: 300,
+            p: 8,
+        };
+        let mut prev = 0;
+        for r_a in 1..=8 {
+            let b = rdm_bytes_per_gpu(mp, r_a);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn max_replication_respects_budget_and_divisibility() {
+        let mp = MemoryParams {
+            n: 100_000,
+            nnz: 1_000_000,
+            feat_sum: 296,
+            p: 8,
+        };
+        // Huge memory: full replication.
+        assert_eq!(max_replication(mp, 4 << 30), 8);
+        // Tiny memory: no replication.
+        assert_eq!(max_replication(mp, 1 << 20), 1);
+        // Intermediate: must divide 8 and fit.
+        let budget = activation_bytes(mp.n, mp.feat_sum) / mp.p
+            + 3 * adjacency_bytes(mp.n, mp.nnz) / mp.p;
+        let r = max_replication(mp, budget);
+        assert!(r == 2, "3 copies fit but must round to divisor 2, got {r}");
+        assert!(rdm_bytes_per_gpu(mp, r) <= budget);
+    }
+}

@@ -1,0 +1,541 @@
+//! CSR / COO sparse matrix types and structural operations.
+
+/// A matrix in coordinate form — the natural output of graph generators and
+/// edge-list loaders. Duplicate entries are summed on conversion to CSR.
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    pub rows: usize,
+    pub cols: usize,
+    pub entries: Vec<(u32, u32, f32)>,
+}
+
+impl Coo {
+    /// Empty COO of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append one entry.
+    ///
+    /// # Panics
+    /// If the position is out of bounds.
+    pub fn push(&mut self, r: u32, c: u32, v: f32) {
+        assert!((r as usize) < self.rows && (c as usize) < self.cols);
+        self.entries.push((r, c, v));
+    }
+
+    /// Convert to CSR, summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let mut counts = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0u32; self.entries.len()];
+        let mut vals = vec![0f32; self.entries.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in &self.entries {
+            let slot = cursor[r as usize];
+            cols[slot] = c;
+            vals[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        // Sort within each row and coalesce duplicates.
+        let mut out_indptr = vec![0usize; self.rows + 1];
+        let mut out_cols = Vec::with_capacity(cols.len());
+        let mut out_vals = Vec::with_capacity(vals.len());
+        for r in 0..self.rows {
+            let (s, e) = (counts[r], counts[r + 1]);
+            let mut row: Vec<(u32, f32)> =
+                cols[s..e].iter().copied().zip(vals[s..e].iter().copied()).collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut last: Option<usize> = None;
+            for (c, v) in row {
+                match last {
+                    Some(idx) if out_cols[idx] == c => out_vals[idx] += v,
+                    _ => {
+                        out_cols.push(c);
+                        out_vals.push(v);
+                        last = Some(out_cols.len() - 1);
+                    }
+                }
+            }
+            out_indptr[r + 1] = out_cols.len();
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: out_indptr,
+            indices: out_cols,
+            vals: out_vals,
+        }
+    }
+}
+
+/// Compressed sparse row matrix with `f32` values and `u32` column indices.
+///
+/// Invariants (checked by [`Csr::validate`], exercised by property tests):
+/// `indptr` is monotone with `indptr[0] == 0` and
+/// `indptr[rows] == indices.len() == vals.len()`; within each row the
+/// column indices are strictly increasing and `< cols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Empty `rows × cols` matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Build from raw parts.
+    ///
+    /// # Panics
+    /// If the CSR invariants are violated.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        vals: Vec<f32>,
+    ) -> Self {
+        let m = Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            vals,
+        };
+        m.validate().expect("invalid CSR");
+        m
+    }
+
+    /// Check all structural invariants; returns a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.indptr.len() != self.rows + 1 {
+            return Err(format!(
+                "indptr length {} != rows+1 {}",
+                self.indptr.len(),
+                self.rows + 1
+            ));
+        }
+        if self.indptr[0] != 0 {
+            return Err("indptr[0] != 0".into());
+        }
+        if *self.indptr.last().unwrap() != self.indices.len() {
+            return Err("indptr[rows] != nnz".into());
+        }
+        if self.indices.len() != self.vals.len() {
+            return Err("indices/vals length mismatch".into());
+        }
+        for r in 0..self.rows {
+            if self.indptr[r] > self.indptr[r + 1] {
+                return Err(format!("indptr not monotone at row {r}"));
+            }
+            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r} columns not strictly increasing"));
+                }
+            }
+            if let Some(&c) = row.last() {
+                if c as usize >= self.cols {
+                    return Err(format!("row {r} column {c} out of bounds"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `(column_indices, values)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.vals[s..e])
+    }
+
+    /// The row-pointer array.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// All column indices.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// All values.
+    #[inline]
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Mutable values (structure stays fixed).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f32] {
+        &mut self.vals
+    }
+
+    /// Number of nonzeros in each row.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| self.indptr[r + 1] - self.indptr[r])
+            .collect()
+    }
+
+    /// Sum of values in each row (weighted out-degree).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| self.row(r).1.iter().sum())
+            .collect()
+    }
+
+    /// Payload bytes: values + indices + row pointers. Used by the space
+    /// model (Table X).
+    pub fn nbytes(&self) -> usize {
+        self.vals.len() * 4 + self.indices.len() * 4 + self.indptr.len() * 8
+    }
+
+    /// Out-of-place transpose (CSR → CSR of the transposed matrix); also the
+    /// CSR↔CSC conversion.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0u32; self.nnz()];
+        let mut vals = vec![0f32; self.nnz()];
+        let mut cursor = counts.clone();
+        for r in 0..self.rows {
+            let (cs, vs) = self.row(r);
+            for (&c, &v) in cs.iter().zip(vs) {
+                let slot = cursor[c as usize];
+                indices[slot] = r as u32;
+                vals[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        // Rows were visited in increasing order, so each output row is
+        // already sorted by column.
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr: counts,
+            indices,
+            vals,
+        }
+    }
+
+    /// Extract the row panel `r0..r1` (all columns).
+    pub fn row_panel(&self, r0: usize, r1: usize) -> Csr {
+        assert!(r0 <= r1 && r1 <= self.rows);
+        let (s, e) = (self.indptr[r0], self.indptr[r1]);
+        let indptr = self.indptr[r0..=r1].iter().map(|p| p - s).collect();
+        Csr {
+            rows: r1 - r0,
+            cols: self.cols,
+            indptr,
+            indices: self.indices[s..e].to_vec(),
+            vals: self.vals[s..e].to_vec(),
+        }
+    }
+
+    /// Extract the column block `c0..c1` (all rows); column indices are
+    /// shifted so the result has `c1-c0` columns.
+    pub fn col_block(&self, c0: usize, c1: usize) -> Csr {
+        assert!(c0 <= c1 && c1 <= self.cols);
+        let (c0u, c1u) = (c0 as u32, c1 as u32);
+        let mut indptr = vec![0usize; self.rows + 1];
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..self.rows {
+            let (cs, vs) = self.row(r);
+            // Columns are sorted: binary search the window.
+            let lo = cs.partition_point(|&c| c < c0u);
+            let hi = cs.partition_point(|&c| c < c1u);
+            for (&c, &v) in cs[lo..hi].iter().zip(&vs[lo..hi]) {
+                indices.push(c - c0u);
+                vals.push(v);
+            }
+            indptr[r + 1] = indices.len();
+        }
+        Csr {
+            rows: self.rows,
+            cols: c1 - c0,
+            indptr,
+            indices,
+            vals,
+        }
+    }
+
+    /// Induced submatrix on `keep` (relabels both rows and columns to
+    /// `0..keep.len()` in the given order). Used by GraphSAINT subgraphs and
+    /// by the DGCL baseline's local partitions.
+    ///
+    /// # Panics
+    /// If `keep` contains an out-of-range or duplicate vertex.
+    pub fn induced(&self, keep: &[u32]) -> Csr {
+        let mut remap = vec![u32::MAX; self.cols.max(self.rows)];
+        for (new, &old) in keep.iter().enumerate() {
+            assert!((old as usize) < self.rows && (old as usize) < self.cols);
+            assert!(remap[old as usize] == u32::MAX, "duplicate vertex {old}");
+            remap[old as usize] = new as u32;
+        }
+        let n = keep.len();
+        let mut indptr = vec![0usize; n + 1];
+        let mut indices = Vec::new();
+        let mut vals = Vec::new();
+        for (new_r, &old_r) in keep.iter().enumerate() {
+            let (cs, vs) = self.row(old_r as usize);
+            let mut row: Vec<(u32, f32)> = cs
+                .iter()
+                .zip(vs)
+                .filter_map(|(&c, &v)| {
+                    let nc = remap[c as usize];
+                    (nc != u32::MAX).then_some((nc, v))
+                })
+                .collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            for (c, v) in row {
+                indices.push(c);
+                vals.push(v);
+            }
+            indptr[new_r + 1] = indices.len();
+        }
+        Csr {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            vals,
+        }
+    }
+
+    /// Apply the same permutation to rows and columns:
+    /// `B[i][j] = A[perm[i]][perm[j]]`. Used to relabel vertices so that a
+    /// partition becomes a contiguous range (the DGCL baseline).
+    pub fn permute_symmetric(&self, perm: &[u32]) -> Csr {
+        assert_eq!(self.rows, self.cols, "symmetric permute needs square");
+        assert_eq!(perm.len(), self.rows);
+        self.induced(perm)
+    }
+
+    /// Dense representation (tests only — O(rows·cols) memory).
+    pub fn to_dense(&self) -> rdm_dense::Mat {
+        let mut m = rdm_dense::Mat::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cs, vs) = self.row(r);
+            for (&c, &v) in cs.iter().zip(vs) {
+                m.set(r, c as usize, v);
+            }
+        }
+        m
+    }
+
+    /// True if the matrix equals its transpose (structure and values).
+    pub fn is_symmetric(&self) -> bool {
+        self.rows == self.cols && *self == self.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0],
+        //  [0, 5, 6]]
+        let mut coo = Coo::new(4, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        coo.push(2, 1, 4.0);
+        coo.push(3, 1, 5.0);
+        coo.push(3, 2, 6.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_basic() {
+        let m = sample();
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0f32, 2.0][..]));
+        assert_eq!(m.row(1).0.len(), 0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn coo_duplicates_are_summed() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(1, 0, 1.0);
+        let m = coo.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0), (&[1u32][..], &[3.5f32][..]));
+    }
+
+    #[test]
+    fn coo_unsorted_input_gets_sorted() {
+        let mut coo = Coo::new(1, 5);
+        coo.push(0, 4, 4.0);
+        coo.push(0, 0, 0.5);
+        coo.push(0, 2, 2.0);
+        let m = coo.to_csr();
+        assert_eq!(m.row(0).0, &[0, 2, 4]);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        let t = m.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn identity_spmm_like_behavior() {
+        let id = Csr::identity(5);
+        assert_eq!(id.nnz(), 5);
+        assert!(id.is_symmetric());
+        id.validate().unwrap();
+    }
+
+    #[test]
+    fn row_panel_extraction() {
+        let m = sample();
+        let p = m.row_panel(1, 3);
+        p.validate().unwrap();
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.row(1), (&[0u32, 1][..], &[3.0f32, 4.0][..]));
+        assert_eq!(p.to_dense(), m.to_dense().row_block(1, 3));
+    }
+
+    #[test]
+    fn col_block_extraction() {
+        let m = sample();
+        let b = m.col_block(1, 3);
+        b.validate().unwrap();
+        assert_eq!(b.cols(), 2);
+        assert_eq!(b.to_dense(), m.to_dense().col_block(1, 3));
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        // Square 4x4 version.
+        let mut coo = Coo::new(4, 4);
+        for (r, c) in [(0, 1), (1, 0), (1, 2), (2, 3), (3, 0)] {
+            coo.push(r, c, 1.0);
+        }
+        let m = coo.to_csr();
+        let sub = m.induced(&[1, 3]);
+        sub.validate().unwrap();
+        assert_eq!(sub.rows(), 2);
+        // Edges among {1,3}: none of (0,1),(1,0),(1,2),(2,3),(3,0) connect
+        // 1<->3, so the induced matrix is empty.
+        assert_eq!(sub.nnz(), 0);
+        let sub2 = m.induced(&[0, 1]);
+        assert_eq!(sub2.nnz(), 2); // (0,1) and (1,0)
+    }
+
+    #[test]
+    fn induced_respects_ordering() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 7.0);
+        let m = coo.to_csr();
+        // keep = [1, 0]: old 0 -> new 1, old 1 -> new 0
+        let sub = m.induced(&[1, 0]);
+        assert_eq!(sub.row(1), (&[0u32][..], &[7.0f32][..]));
+    }
+
+    #[test]
+    fn permute_symmetric_roundtrip() {
+        let mut coo = Coo::new(4, 4);
+        for (r, c, v) in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)] {
+            coo.push(r, c, v);
+        }
+        let m = coo.to_csr();
+        let perm: Vec<u32> = vec![2, 0, 3, 1];
+        let pm = m.permute_symmetric(&perm);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    pm.to_dense().get(i, j),
+                    m.to_dense().get(perm[i] as usize, perm[j] as usize)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_structure() {
+        let m = Csr {
+            rows: 2,
+            cols: 2,
+            indptr: vec![0, 1, 1],
+            indices: vec![5],
+            vals: vec![1.0],
+        };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn nbytes_counts_all_arrays() {
+        let m = sample();
+        assert_eq!(m.nbytes(), 6 * 4 + 6 * 4 + 5 * 8);
+    }
+}

@@ -1,0 +1,201 @@
+//! Graph normalizations for GCN.
+
+use crate::csr::{Coo, Csr};
+
+/// The GCN symmetric normalization of Kipf & Welling:
+/// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` where `D̃` is the degree matrix of
+/// `A + I`. Input values are treated as edge weights; self-loops are added
+/// with weight 1 (existing diagonal entries are summed with the added loop,
+/// matching the CAGNET normalization code reused by the paper).
+///
+/// # Panics
+/// If `a` is not square.
+pub fn gcn_normalize(a: &Csr) -> Csr {
+    assert_eq!(a.rows(), a.cols(), "gcn_normalize needs a square matrix");
+    let n = a.rows();
+    // A + I
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        let (cs, vs) = a.row(r);
+        for (&c, &v) in cs.iter().zip(vs) {
+            coo.push(r as u32, c, v);
+        }
+        coo.push(r as u32, r as u32, 1.0);
+    }
+    let a_tilde = coo.to_csr();
+    // D̃^{-1/2}
+    let deg = a_tilde.row_sums();
+    let inv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    scale_sym(&a_tilde, &inv_sqrt)
+}
+
+/// GraphSAGE-style mean aggregation: `D̃^{-1}(A + I)` — each vertex
+/// averages itself and its neighbors. Unlike [`gcn_normalize`] the result
+/// is **not symmetric**, so distributed backward passes must multiply by
+/// its transpose.
+///
+/// # Panics
+/// If `a` is not square.
+pub fn mean_normalize(a: &Csr) -> Csr {
+    assert_eq!(a.rows(), a.cols(), "mean_normalize needs a square matrix");
+    let n = a.rows();
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        let (cs, vs) = a.row(r);
+        for (&c, &v) in cs.iter().zip(vs) {
+            coo.push(r as u32, c, v);
+        }
+        coo.push(r as u32, r as u32, 1.0);
+    }
+    row_normalize(&coo.to_csr())
+}
+
+/// Row normalization `D^{-1} A` (mean aggregation). Rows with zero degree
+/// stay zero.
+pub fn row_normalize(a: &Csr) -> Csr {
+    let deg = a.row_sums();
+    let mut out = a.clone();
+    let indptr: Vec<usize> = out.indptr().to_vec();
+    let vals = out.vals_mut();
+    for r in 0..indptr.len() - 1 {
+        let d = deg[r];
+        if d == 0.0 {
+            continue;
+        }
+        let inv = 1.0 / d;
+        for v in &mut vals[indptr[r]..indptr[r + 1]] {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// `diag(s) · A · diag(s)` without changing structure.
+fn scale_sym(a: &Csr, s: &[f32]) -> Csr {
+    let mut out = a.clone();
+    let indptr: Vec<usize> = out.indptr().to_vec();
+    let indices: Vec<u32> = out.indices().to_vec();
+    let vals = out.vals_mut();
+    for r in 0..indptr.len() - 1 {
+        let sr = s[r];
+        for idx in indptr[r]..indptr[r + 1] {
+            vals[idx] *= sr * s[indices[idx] as usize];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i as u32, i as u32 + 1, 1.0);
+            coo.push(i as u32 + 1, i as u32, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn gcn_normalize_adds_self_loops() {
+        let a = path_graph(3);
+        let norm = gcn_normalize(&a);
+        norm.validate().unwrap();
+        assert_eq!(norm.nnz(), a.nnz() + 3);
+        // Diagonal entries exist and are positive.
+        for r in 0..3 {
+            let (cs, vs) = norm.row(r);
+            let d = cs.iter().position(|&c| c as usize == r).unwrap();
+            assert!(vs[d] > 0.0);
+        }
+    }
+
+    #[test]
+    fn gcn_normalize_is_symmetric_for_symmetric_input() {
+        let a = path_graph(5);
+        assert!(gcn_normalize(&a).is_symmetric());
+    }
+
+    #[test]
+    fn gcn_normalize_values_on_path2() {
+        // Two vertices with one edge: A+I = [[1,1],[1,1]], degrees 2,2,
+        // normalized = 1/2 everywhere.
+        let a = path_graph(2);
+        let norm = gcn_normalize(&a);
+        for r in 0..2 {
+            let (_, vs) = norm.row(r);
+            for &v in vs {
+                assert!((v - 0.5).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_normalize_spectral_radius_at_most_one() {
+        // Power iteration on the normalized matrix must not blow up: the
+        // symmetric normalization has eigenvalues in [-1, 1].
+        let a = path_graph(10);
+        let norm = gcn_normalize(&a);
+        let mut x = rdm_dense::Mat::from_fn(10, 1, |i, _| 1.0 + i as f32);
+        for _ in 0..50 {
+            let y = crate::spmm(&norm, &x);
+            let n = y.fro_norm();
+            assert!(n.is_finite());
+            x = y;
+            let scale = 1.0 / x.fro_norm().max(1e-12);
+            rdm_dense::scale(&mut x, scale);
+        }
+        let y = crate::spmm(&norm, &x);
+        assert!(y.fro_norm() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn mean_normalize_rows_sum_to_one_with_self_loop() {
+        let a = path_graph(4);
+        let m = mean_normalize(&a);
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), a.nnz() + 4);
+        for r in 0..4 {
+            let sum: f32 = m.row(r).1.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_normalize_is_not_symmetric_on_irregular_graphs() {
+        // A star graph: the hub averages many, leaves average two.
+        let mut coo = Coo::new(4, 4);
+        for i in 1..4u32 {
+            coo.push(0, i, 1.0);
+            coo.push(i, 0, 1.0);
+        }
+        let m = mean_normalize(&coo.to_csr());
+        assert!(!m.is_symmetric());
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one() {
+        let a = path_graph(4);
+        let rn = row_normalize(&a);
+        for r in 0..4 {
+            let sum: f32 = rn.row(r).1.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn row_normalize_keeps_zero_rows() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0);
+        let a = coo.to_csr();
+        let rn = row_normalize(&a);
+        assert_eq!(rn.row(1).0.len(), 0);
+        assert_eq!(rn.row(2).0.len(), 0);
+        assert!((rn.row(0).1[0] - 1.0).abs() < 1e-6);
+    }
+}

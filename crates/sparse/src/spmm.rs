@@ -1,0 +1,220 @@
+//! Sparse × dense matrix multiplication.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+use rdm_dense::Mat;
+
+/// `C = A · B` for CSR `A` (m×k) and dense `B` (k×n), allocating `C` (m×n).
+///
+/// Parallelized over row panels of `C`; each output row accumulates scaled
+/// rows of `B`, a contiguous axpy that vectorizes well. This is the
+/// aggregation kernel of a GCN layer.
+pub fn spmm(a: &Csr, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    spmm_acc(a, b, &mut c);
+    c
+}
+
+/// `C += A · B` into an existing output.
+///
+/// # Panics
+/// On shape mismatch.
+pub fn spmm_acc(a: &Csr, b: &Mat, c: &mut Mat) {
+    let n = b.cols();
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spmm: A is {}x{} but B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        n
+    );
+    assert_eq!(c.shape(), (a.rows(), n), "spmm: C shape mismatch");
+    if a.rows() == 0 || n == 0 || a.nnz() == 0 {
+        return;
+    }
+    let b_data = b.as_slice();
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let vals = a.vals();
+    // One rayon task per chunk of rows; chunk size adapts to density so that
+    // skewed (power-law) rows still balance.
+    let rows = a.rows();
+    let chunk = (rows / (rayon::current_num_threads() * 8)).max(1);
+    c.as_mut_slice()
+        .par_chunks_mut(chunk * n)
+        .enumerate()
+        .for_each(|(ci, c_chunk)| {
+            let r0 = ci * chunk;
+            let rows_here = c_chunk.len() / n;
+            for rr in 0..rows_here {
+                let r = r0 + rr;
+                let c_row = &mut c_chunk[rr * n..(rr + 1) * n];
+                for idx in indptr[r]..indptr[r + 1] {
+                    let k = indices[idx] as usize;
+                    let v = vals[idx];
+                    let b_row = &b_data[k * n..(k + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += v * bv;
+                    }
+                }
+            }
+        });
+}
+
+/// Masked SpMM (§III-F): like [`spmm`] but only the entries of `A` whose
+/// flag in `mask` is true participate. `mask` is indexed by nonzero
+/// position (same order as `A`'s value array) — the "sampled neighbor"
+/// pattern of sampling-based GNNs that do not build explicit subgraphs.
+///
+/// # Panics
+/// If `mask.len() != a.nnz()` or shapes mismatch.
+pub fn spmm_masked(a: &Csr, b: &Mat, mask: &[bool]) -> Mat {
+    assert_eq!(mask.len(), a.nnz(), "mask length must equal nnz");
+    assert_eq!(a.cols(), b.rows(), "spmm_masked shape mismatch");
+    let n = b.cols();
+    let mut c = Mat::zeros(a.rows(), n);
+    if a.rows() == 0 || n == 0 {
+        return c;
+    }
+    let b_data = b.as_slice();
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let vals = a.vals();
+    let rows = a.rows();
+    let chunk = (rows / (rayon::current_num_threads() * 8)).max(1);
+    c.as_mut_slice()
+        .par_chunks_mut(chunk * n)
+        .enumerate()
+        .for_each(|(ci, c_chunk)| {
+            let r0 = ci * chunk;
+            let rows_here = c_chunk.len() / n;
+            for rr in 0..rows_here {
+                let r = r0 + rr;
+                let c_row = &mut c_chunk[rr * n..(rr + 1) * n];
+                for idx in indptr[r]..indptr[r + 1] {
+                    if !mask[idx] {
+                        continue;
+                    }
+                    let k = indices[idx] as usize;
+                    let v = vals[idx];
+                    let b_row = &b_data[k * n..(k + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += v * bv;
+                    }
+                }
+            }
+        });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Coo;
+    use rdm_dense::{allclose, gemm};
+
+    fn random_csr(rows: usize, cols: usize, density: f64, seed: u64) -> Csr {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(density) {
+                    coo.push(r as u32, c as u32, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        for (m, k, n, d) in [(10, 10, 4, 0.3), (37, 53, 9, 0.1), (64, 64, 16, 0.05)] {
+            let a = random_csr(m, k, d, (m + n) as u64);
+            let b = Mat::random(k, n, 1.0, 99);
+            let c = spmm(&a, &b);
+            let c_ref = gemm(&a.to_dense(), &b);
+            assert!(allclose(&c, &c_ref, 1e-4));
+        }
+    }
+
+    #[test]
+    fn spmm_identity_is_noop() {
+        let b = Mat::random(20, 5, 1.0, 3);
+        let c = spmm(&Csr::identity(20), &b);
+        assert!(allclose(&c, &b, 1e-6));
+    }
+
+    #[test]
+    fn spmm_empty_matrix_gives_zeros() {
+        let a = Csr::empty(4, 6);
+        let b = Mat::random(6, 3, 1.0, 5);
+        let c = spmm(&a, &b);
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn spmm_acc_accumulates() {
+        let a = random_csr(8, 8, 0.4, 1);
+        let b = Mat::random(8, 4, 1.0, 2);
+        let mut c = spmm(&a, &b);
+        spmm_acc(&a, &b, &mut c);
+        let mut twice = spmm(&a, &b);
+        rdm_dense::scale(&mut twice, 2.0);
+        assert!(allclose(&c, &twice, 1e-4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn spmm_shape_mismatch_panics() {
+        let a = Csr::empty(4, 6);
+        let b = Mat::zeros(5, 3);
+        let _ = spmm(&a, &b);
+    }
+
+    #[test]
+    fn masked_all_true_equals_unmasked() {
+        let a = random_csr(16, 16, 0.3, 7);
+        let b = Mat::random(16, 6, 1.0, 8);
+        let mask = vec![true; a.nnz()];
+        assert!(allclose(&spmm_masked(&a, &b, &mask), &spmm(&a, &b), 1e-6));
+    }
+
+    #[test]
+    fn masked_all_false_gives_zero() {
+        let a = random_csr(16, 16, 0.3, 7);
+        let b = Mat::random(16, 6, 1.0, 8);
+        let mask = vec![false; a.nnz()];
+        let c = spmm_masked(&a, &b, &mask);
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn masked_subset_matches_filtered_matrix() {
+        use rand::{Rng, SeedableRng};
+        let a = random_csr(20, 20, 0.3, 9);
+        let b = Mat::random(20, 4, 1.0, 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mask: Vec<bool> = (0..a.nnz()).map(|_| rng.gen_bool(0.5)).collect();
+        // Build the explicitly filtered matrix.
+        let mut coo = Coo::new(20, 20);
+        let mut pos = 0;
+        for r in 0..20 {
+            let (cs, vs) = a.row(r);
+            for (&c, &v) in cs.iter().zip(vs) {
+                if mask[pos] {
+                    coo.push(r as u32, c, v);
+                }
+                pos += 1;
+            }
+        }
+        let filtered = coo.to_csr();
+        assert!(allclose(
+            &spmm_masked(&a, &b, &mask),
+            &spmm(&filtered, &b),
+            1e-5
+        ));
+    }
+}

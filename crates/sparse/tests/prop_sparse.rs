@@ -1,0 +1,158 @@
+//! Property-based tests for the CSR data structure and SpMM.
+
+use proptest::prelude::*;
+use rdm_dense::{allclose, gemm, Mat};
+use rdm_sparse::{gcn_normalize, spmm, Coo};
+
+/// Strategy: a random COO matrix with shape up to 24x24.
+fn coo_strategy() -> impl Strategy<Value = Coo> {
+    (1usize..24, 1usize..24).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows as u32, 0..cols as u32, -2.0f32..2.0f32);
+        proptest::collection::vec(entry, 0..64).prop_map(move |entries| {
+            let mut coo = Coo::new(rows, cols);
+            for (r, c, v) in entries {
+                coo.push(r, c, v);
+            }
+            coo
+        })
+    })
+}
+
+/// Square symmetric COO (for normalization properties).
+fn sym_coo_strategy() -> impl Strategy<Value = Coo> {
+    (2usize..16).prop_flat_map(|n| {
+        let entry = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(entry, 0..48).prop_map(move |entries| {
+            let mut coo = Coo::new(n, n);
+            for (r, c) in entries {
+                if r != c {
+                    coo.push(r, c, 1.0);
+                    coo.push(c, r, 1.0);
+                }
+            }
+            coo
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_always_valid(coo in coo_strategy()) {
+        let m = coo.to_csr();
+        prop_assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn transpose_is_involution(coo in coo_strategy()) {
+        let m = coo.to_csr();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz_and_validates(coo in coo_strategy()) {
+        let m = coo.to_csr();
+        let t = m.transpose();
+        prop_assert_eq!(t.nnz(), m.nnz());
+        prop_assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense(coo in coo_strategy(), seed in 0u64..1000) {
+        let a = coo.to_csr();
+        let b = Mat::random(a.cols(), 5, 1.0, seed);
+        let sparse_result = spmm(&a, &b);
+        let dense_result = gemm(&a.to_dense(), &b);
+        prop_assert!(allclose(&sparse_result, &dense_result, 1e-4));
+    }
+
+    #[test]
+    fn spmm_is_linear_in_b(coo in coo_strategy(), seed in 0u64..1000) {
+        // A·(B1 + B2) == A·B1 + A·B2
+        let a = coo.to_csr();
+        let b1 = Mat::random(a.cols(), 4, 1.0, seed);
+        let b2 = Mat::random(a.cols(), 4, 1.0, seed + 1);
+        let mut sum = b1.clone();
+        rdm_dense::add_assign(&mut sum, &b2);
+        let lhs = spmm(&a, &sum);
+        let mut rhs = spmm(&a, &b1);
+        rdm_dense::add_assign(&mut rhs, &spmm(&a, &b2));
+        prop_assert!(allclose(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn row_panels_partition_spmm(coo in coo_strategy(), seed in 0u64..1000) {
+        // SpMM of the whole equals the vstack of SpMMs of row panels —
+        // the identity behind every row-partitioned distributed scheme.
+        let a = coo.to_csr();
+        let b = Mat::random(a.cols(), 3, 1.0, seed);
+        let full = spmm(&a, &b);
+        let mid = a.rows() / 2;
+        let top = spmm(&a.row_panel(0, mid), &b);
+        let bot = spmm(&a.row_panel(mid, a.rows()), &b);
+        let stacked = rdm_dense::vstack(&[top, bot]);
+        prop_assert!(allclose(&stacked, &full, 1e-5));
+    }
+
+    #[test]
+    fn col_blocks_sum_to_spmm(coo in coo_strategy(), seed in 0u64..1000) {
+        // A·B == Σ_k A[:, k-block] · B[k-block, :] — the identity behind
+        // the CAGNET broadcast scheme (each rank contributes a partial
+        // product over its owned block of B's rows).
+        let a = coo.to_csr();
+        let b = Mat::random(a.cols(), 3, 1.0, seed);
+        let full = spmm(&a, &b);
+        let mid = a.cols() / 2;
+        let left = a.col_block(0, mid);
+        let right = a.col_block(mid, a.cols());
+        let mut partial = spmm(&left, &b.row_block(0, mid));
+        rdm_dense::add_assign(&mut partial, &spmm(&right, &b.row_block(mid, a.cols())));
+        prop_assert!(allclose(&partial, &full, 1e-5));
+    }
+
+    #[test]
+    fn gcn_normalize_symmetric_and_bounded(coo in sym_coo_strategy()) {
+        let a = coo.to_csr();
+        let norm = gcn_normalize(&a);
+        prop_assert!(norm.validate().is_ok());
+        prop_assert!(norm.is_symmetric());
+        // Every normalized weight lies in (0, 1].
+        prop_assert!(norm.vals().iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn induced_on_all_vertices_is_identity_relabel(coo in sym_coo_strategy()) {
+        let a = coo.to_csr();
+        let all: Vec<u32> = (0..a.rows() as u32).collect();
+        prop_assert_eq!(a.induced(&all), a);
+    }
+
+    #[test]
+    fn induced_nnz_never_grows(coo in sym_coo_strategy()) {
+        let a = coo.to_csr();
+        let keep: Vec<u32> = (0..a.rows() as u32).step_by(2).collect();
+        let sub = a.induced(&keep);
+        prop_assert!(sub.nnz() <= a.nnz());
+        prop_assert!(sub.validate().is_ok());
+    }
+}
+
+#[test]
+fn csr_roundtrip_through_dense() {
+    let mut coo = Coo::new(6, 6);
+    for i in 0..5u32 {
+        coo.push(i, i + 1, (i + 1) as f32);
+    }
+    let m = coo.to_csr();
+    let d = m.to_dense();
+    // Rebuild from dense.
+    let mut coo2 = Coo::new(6, 6);
+    for r in 0..6 {
+        for c in 0..6 {
+            let v = d.get(r, c);
+            if v != 0.0 {
+                coo2.push(r as u32, c as u32, v);
+            }
+        }
+    }
+    assert_eq!(coo2.to_csr(), m);
+}

@@ -1,0 +1,300 @@
+//! `rdm-train` — command-line distributed GCN training.
+//!
+//! ```text
+//! rdm-train --dataset reddit --algo rdm --ranks 8 --epochs 20
+//! rdm-train --synthetic 10000x80000 --features 64 --classes 16 --algo cagnet15d:2
+//! rdm-train --edge-list graph.txt --algo dgcl --ranks 4
+//! ```
+//!
+//! Algorithms: `rdm` (model-selected plan), `rdm:<id>` (explicit Table-IV
+//! ordering), `rdm-dynamic:<trial-epochs>` (measure Pareto candidates,
+//! keep the fastest — §IV-B), `cagnet1d`, `cagnet15d:<c>`, `dgcl`,
+//! `saint-rdm`, `saint-ddp`, `masked:<keep>`.
+
+use gnn_rdm::core::{train_gcn, Algo, Plan, TrainerConfig};
+use gnn_rdm::graph::dataset::load_edge_list;
+use gnn_rdm::graph::{paper_datasets, Dataset, DatasetSpec, SaintSampler};
+use std::process::ExitCode;
+
+struct Args {
+    dataset: Option<String>,
+    edge_list: Option<String>,
+    synthetic: Option<(usize, usize)>,
+    features: usize,
+    classes: usize,
+    scale: Option<usize>,
+    algo: String,
+    ranks: usize,
+    layers: usize,
+    hidden: usize,
+    lr: f32,
+    epochs: usize,
+    seed: u64,
+    ra: Option<usize>,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            dataset: None,
+            edge_list: None,
+            synthetic: None,
+            features: 64,
+            classes: 16,
+            scale: None,
+            algo: "rdm".into(),
+            ranks: 4,
+            layers: 2,
+            hidden: 128,
+            lr: 0.01,
+            epochs: 10,
+            seed: 42,
+            ra: None,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+rdm-train — distributed GCN training with GNN-RDM and baselines
+
+USAGE:
+  rdm-train [--dataset <name> | --synthetic <NxE> | --edge-list <path>] [options]
+
+DATA:
+  --dataset <name>      one of the paper's datasets (ogb-arxiv, ogb-mag,
+                        ogb-products, reddit, web-google, com-orkut,
+                        cami-airways, cami-oral), synthesized at --scale
+  --synthetic <NxE>     synthetic graph with N vertices, E edges
+  --edge-list <path>    whitespace edge list, 0-based vertex ids
+  --features <f>        input feature width for synthetic/edge-list [64]
+  --classes <c>         label count for synthetic/edge-list [16]
+  --scale <s>           divide a paper dataset's size by s [auto]
+
+MODEL / TRAINING:
+  --algo <a>            rdm | rdm:<id> | rdm-dynamic:<trials> | cagnet1d |
+                        cagnet15d:<c> | dgcl | saint-rdm | saint-ddp |
+                        masked:<keep>                           [rdm]
+  --ranks <p>           simulated GPUs [4]
+  --layers <l>          GCN layers [2]
+  --hidden <h>          hidden width [128]
+  --ra <r>              adjacency replication factor (rdm only) [P]
+  --lr <x>              learning rate [0.01]
+  --epochs <n>          epochs [10]
+  --seed <s>            RNG seed [42]
+  --quiet               summary only
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => args.dataset = Some(value("--dataset")?),
+            "--edge-list" => args.edge_list = Some(value("--edge-list")?),
+            "--synthetic" => {
+                let v = value("--synthetic")?;
+                let (n, e) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--synthetic wants NxE, got {v}"))?;
+                args.synthetic = Some((
+                    n.parse().map_err(|e| format!("bad N: {e}"))?,
+                    e.parse().map_err(|e| format!("bad E: {e}"))?,
+                ));
+            }
+            "--features" => args.features = value("--features")?.parse().map_err(|e| format!("{e}"))?,
+            "--classes" => args.classes = value("--classes")?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => args.scale = Some(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
+            "--algo" => args.algo = value("--algo")?,
+            "--ranks" => args.ranks = value("--ranks")?.parse().map_err(|e| format!("{e}"))?,
+            "--layers" => args.layers = value("--layers")?.parse().map_err(|e| format!("{e}"))?,
+            "--hidden" => args.hidden = value("--hidden")?.parse().map_err(|e| format!("{e}"))?,
+            "--ra" => args.ra = Some(value("--ra")?.parse().map_err(|e| format!("{e}"))?),
+            "--lr" => args.lr = value("--lr")?.parse().map_err(|e| format!("{e}"))?,
+            "--epochs" => args.epochs = value("--epochs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_dataset(args: &Args) -> Result<Dataset, String> {
+    if let Some(path) = &args.edge_list {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return load_edge_list(path, &text, args.features, args.classes, args.seed);
+    }
+    if let Some((n, e)) = args.synthetic {
+        return Ok(
+            DatasetSpec::synthetic("synthetic", n, e, args.features, args.classes)
+                .instantiate(args.seed),
+        );
+    }
+    if let Some(name) = &args.dataset {
+        let wanted = name.to_lowercase().replace('_', "-");
+        let spec = paper_datasets()
+            .into_iter()
+            .find(|s| s.name.to_lowercase() == wanted)
+            .ok_or_else(|| {
+                format!(
+                    "unknown dataset {name}; options: {}",
+                    paper_datasets()
+                        .iter()
+                        .map(|s| s.name.to_lowercase())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+        let scale = args.scale.unwrap_or((spec.edges / 100_000).max(1));
+        return Ok(spec.scaled(scale).instantiate(args.seed));
+    }
+    Err("pick a dataset: --dataset, --synthetic or --edge-list (see --help)".into())
+}
+
+fn build_algo(args: &Args) -> Result<Algo, String> {
+    let (name, param) = match args.algo.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (args.algo.as_str(), None),
+    };
+    let sampler = SaintSampler::Node {
+        budget: 256.max(args.hidden),
+    };
+    Ok(match name {
+        "rdm" => match param {
+            // Auto ordering; an explicit --ra is applied in main once the
+            // dataset shape is known.
+            None => Algo::Rdm { plan: None },
+            Some(id) => {
+                let id: usize = id.parse().map_err(|e| format!("bad plan id: {e}"))?;
+                if id >= 1 << (2 * args.layers) {
+                    return Err(format!(
+                        "plan id {id} out of range for {} layers",
+                        args.layers
+                    ));
+                }
+                let plan = Plan::from_id(id, args.layers, args.ranks)
+                    .with_ra(args.ra.unwrap_or(args.ranks));
+                Algo::Rdm { plan: Some(plan) }
+            }
+        },
+        "rdm-dynamic" => {
+            let trials: usize = param
+                .ok_or("rdm-dynamic wants trial epochs, e.g. rdm-dynamic:2")?
+                .parse()
+                .map_err(|e| format!("bad trial count: {e}"))?;
+            Algo::RdmDynamic {
+                trial_epochs: trials,
+            }
+        }
+        "cagnet1d" => Algo::Cagnet1D,
+        "cagnet15d" => {
+            let c: usize = param
+                .ok_or("cagnet15d wants a replication factor, e.g. cagnet15d:2")?
+                .parse()
+                .map_err(|e| format!("bad c: {e}"))?;
+            Algo::Cagnet15D { c }
+        }
+        "dgcl" => Algo::Dgcl,
+        "saint-rdm" => Algo::SaintRdm { sampler },
+        "saint-ddp" => Algo::SaintDdp { sampler },
+        "masked" => {
+            let keep: f32 = param
+                .ok_or("masked wants a keep probability, e.g. masked:0.5")?
+                .parse()
+                .map_err(|e| format!("bad keep: {e}"))?;
+            Algo::SaintMasked { keep }
+        }
+        other => return Err(format!("unknown algorithm {other} (try --help)")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ds = match build_dataset(&args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut algo = match build_algo(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Auto ordering with an explicit replication factor: pick the best
+    // ordering from the model, then override R_A.
+    if let (Algo::Rdm { plan: plan @ None }, Some(r)) = (&mut algo, args.ra) {
+        let shape = ds.shape_layers(args.hidden, args.layers);
+        *plan = Some(gnn_rdm::core::best_plan(&shape, args.ranks).with_ra(r));
+    }
+    let cfg = TrainerConfig {
+        algo,
+        ..TrainerConfig::rdm_auto(args.ranks)
+    }
+    .layers(args.layers)
+    .hidden(args.hidden)
+    .lr(args.lr)
+    .epochs(args.epochs)
+    .seed(args.seed);
+
+    println!(
+        "dataset {}: {} vertices, {} edges (nnz {}), {} features, {} classes",
+        ds.spec.name,
+        ds.n(),
+        ds.adj.nnz() / 2,
+        ds.adj_norm.nnz(),
+        ds.spec.feature_size,
+        ds.spec.labels,
+    );
+    let report = match train_gcn(&ds, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("algorithm {} on {} ranks", report.algo, report.p);
+    if !args.quiet {
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            "epoch", "loss", "train-acc", "test-acc", "MB moved", "sim ms"
+        );
+        for e in &report.epochs {
+            println!(
+                "{:>5} {:>10.4} {:>9.1}% {:>9.1}% {:>12.2} {:>12.3}",
+                e.epoch,
+                e.loss,
+                100.0 * e.train_acc,
+                100.0 * e.test_acc,
+                e.total_bytes as f64 / 1e6,
+                e.sim.total_s * 1e3,
+            );
+        }
+    }
+    println!(
+        "final: loss {:.4}, test accuracy {:.1}%, {:.2} MB/epoch, {:.2} simulated epochs/s",
+        report.epochs.last().unwrap().loss,
+        100.0 * report.final_test_acc(),
+        report.mean_bytes_per_epoch() / 1e6,
+        report.sim_epochs_per_sec(),
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,51 @@
+//! # GNN-RDM
+//!
+//! A Rust reproduction of *Communication Optimization for Distributed
+//! Execution of Graph Neural Networks* (Kurt, Yan, Sukumaran-Rajam, Pandey,
+//! Sadayappan — IPDPS 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`dense`] — dense matrices and blocked, rayon-parallel GEMM kernels.
+//! * [`sparse`] — CSR sparse matrices, SpMM, GCN normalization.
+//! * [`comm`] — the SPMD multi-rank runtime with byte-counted collectives
+//!   (the "multi-GPU node" substrate; each rank is an OS thread).
+//! * [`graph`] — synthetic graph generators, the paper's eight datasets,
+//!   partitioners, GraphSAINT samplers.
+//! * [`model`] — the analytical cost model (Tables II–IV, VI, X) and the
+//!   device model used for simulated timing.
+//! * [`core`] — distributed matrices, redistribution, communication-free
+//!   distributed SpMM/GEMM, GCN training (RDM + CAGNET + DGCL + GraphSAINT
+//!   trainers).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gnn_rdm::prelude::*;
+//!
+//! // A small synthetic dataset, 4 simulated GPUs, 2-layer GCN.
+//! let ds = DatasetSpec::synthetic("demo", 256, 2_000, 16, 4).instantiate(42);
+//! let plan = best_plan(&ds.shape(16), 4);
+//! let cfg = TrainerConfig::rdm(4, plan).epochs(3);
+//! let report = train_gcn(&ds, &cfg).unwrap();
+//! assert_eq!(report.epochs.len(), 3);
+//! ```
+
+pub use rdm_comm as comm;
+pub use rdm_core as core;
+pub use rdm_dense as dense;
+pub use rdm_graph as graph;
+pub use rdm_model as model;
+pub use rdm_sparse as sparse;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use rdm_comm::{Cluster, CollectiveKind, CommStats};
+    pub use rdm_core::{
+        best_plan, train_gcn, Algo, DistMat, LayerOrder, Plan, TrainerConfig,
+    };
+    pub use rdm_dense::Mat;
+    pub use rdm_graph::{Dataset, DatasetSpec, SaintSampler};
+    pub use rdm_model::{DeviceModel, GnnShape, LayerDims, OrderConfig};
+    pub use rdm_sparse::Csr;
+}

@@ -1,0 +1,110 @@
+//! All distributed systems implement the *same* GCN: training trajectories
+//! must coincide across systems, cluster sizes, and orderings — §V-B's
+//! "all three implementations compute identical outputs, with small
+//! differences due to reordering of floating point operations".
+
+use gnn_rdm::core::{train_gcn, Plan, TrainerConfig};
+use gnn_rdm::graph::DatasetSpec;
+
+fn dataset() -> gnn_rdm::graph::Dataset {
+    DatasetSpec::synthetic("e2e", 150, 1200, 16, 5).instantiate(23)
+}
+
+fn losses(ds: &gnn_rdm::graph::Dataset, cfg: TrainerConfig) -> Vec<f32> {
+    train_gcn(ds, &cfg)
+        .unwrap()
+        .epochs
+        .iter()
+        .map(|e| e.loss)
+        .collect()
+}
+
+#[test]
+fn all_systems_share_the_training_trajectory() {
+    let ds = dataset();
+    let reference = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).epochs(5));
+    for cfg in [
+        TrainerConfig::cagnet_1d(4),
+        TrainerConfig::cagnet(4),
+        TrainerConfig::dgcl(4),
+    ] {
+        let other = losses(&ds, cfg.hidden(8).epochs(5));
+        for (i, (a, b)) in reference.iter().zip(&other).enumerate() {
+            assert!(
+                (a - b).abs() < 2e-3,
+                "epoch {i}: loss {a} vs {b} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn trajectory_independent_of_cluster_size() {
+    let ds = dataset();
+    let reference = losses(&ds, TrainerConfig::rdm_auto(1).hidden(8).epochs(5));
+    for p in [2usize, 3, 5, 8] {
+        let other = losses(&ds, TrainerConfig::rdm_auto(p).hidden(8).epochs(5));
+        for (i, (a, b)) in reference.iter().zip(&other).enumerate() {
+            assert!(
+                (a - b).abs() < 2e-3,
+                "p={p} epoch {i}: loss {a} vs {b} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn trajectory_independent_of_ordering_plan() {
+    // Every Table-IV configuration computes the same mathematics.
+    let ds = dataset();
+    let reference = losses(
+        &ds,
+        TrainerConfig::rdm(4, Plan::from_id(0, 2, 4)).hidden(8).epochs(4),
+    );
+    for id in [3usize, 5, 6, 9, 10, 12, 15] {
+        let other = losses(
+            &ds,
+            TrainerConfig::rdm(4, Plan::from_id(id, 2, 4)).hidden(8).epochs(4),
+        );
+        for (i, (a, b)) in reference.iter().zip(&other).enumerate() {
+            assert!(
+                (a - b).abs() < 2e-3,
+                "id={id} epoch {i}: loss {a} vs {b} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_report() {
+    let ds = dataset();
+    let a = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).epochs(4).seed(9));
+    let b = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).epochs(4).seed(9));
+    assert_eq!(a, b, "same seed must reproduce bit-identical losses");
+    let c = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).epochs(4).seed(10));
+    assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn three_layer_systems_agree_too() {
+    let ds = dataset();
+    let rdm = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).layers(3).epochs(3));
+    let cag = losses(&ds, TrainerConfig::cagnet_1d(4).hidden(8).layers(3).epochs(3));
+    for (a, b) in rdm.iter().zip(&cag) {
+        assert!((a - b).abs() < 2e-3, "3-layer loss {a} vs {b}");
+    }
+}
+
+#[test]
+fn accuracy_improves_with_training() {
+    let ds = DatasetSpec::synthetic("learn", 400, 4000, 16, 4).instantiate(5);
+    let report = train_gcn(&ds, &TrainerConfig::rdm_auto(4).hidden(16).epochs(25).lr(0.02))
+        .unwrap();
+    let first = report.epochs[0].test_acc;
+    let last = report.final_test_acc();
+    assert!(
+        last > first + 0.3,
+        "no learning: {first} -> {last}"
+    );
+    assert!(last > 0.8, "final accuracy too low: {last}");
+}
