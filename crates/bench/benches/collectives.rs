@@ -28,18 +28,10 @@ fn bench_all_reduce_naive_vs_ring(c: &mut Criterion) {
     group.sample_size(20);
     let p = 8;
     group.bench_function("naive_p8", |b| {
-        b.iter(|| {
-            Cluster::new(p).run(|ctx| {
-                ctx.all_reduce_sum(Mat::zeros(1024, 128), K)
-            })
-        })
+        b.iter(|| Cluster::new(p).run(|ctx| ctx.all_reduce_sum(Mat::zeros(1024, 128), K)))
     });
     group.bench_function("ring_p8", |b| {
-        b.iter(|| {
-            Cluster::new(p).run(|ctx| {
-                ctx.all_reduce_ring(Mat::zeros(1024, 128), K)
-            })
-        })
+        b.iter(|| Cluster::new(p).run(|ctx| ctx.all_reduce_ring(Mat::zeros(1024, 128), K)))
     });
     group.finish();
 }

@@ -17,11 +17,9 @@ fn bench_epoch(c: &mut Criterion) {
             ("dgcl", TrainerConfig::dgcl(p)),
         ] {
             let cfg = cfg.hidden(64).epochs(1);
-            group.bench_with_input(
-                BenchmarkId::new(label, p),
-                &cfg,
-                |b, cfg| b.iter(|| train_gcn(&ds, cfg).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(label, p), &cfg, |b, cfg| {
+                b.iter(|| train_gcn(&ds, cfg).unwrap())
+            });
         }
     }
     group.finish();

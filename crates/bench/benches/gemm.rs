@@ -6,7 +6,11 @@ use rdm_dense::{gemm, gemm_nt, gemm_tn, Mat};
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
     // GNN shapes: tall-skinny activations times small weights.
-    for &(n, fi, fo) in &[(10_000usize, 128usize, 128usize), (10_000, 602, 128), (40_000, 128, 41)] {
+    for &(n, fi, fo) in &[
+        (10_000usize, 128usize, 128usize),
+        (10_000, 602, 128),
+        (40_000, 128, 41),
+    ] {
         let h = Mat::random(n, fi, 1.0, 1);
         let w = Mat::random(fi, fo, 1.0, 2);
         group.throughput(Throughput::Elements((2 * n * fi * fo) as u64));

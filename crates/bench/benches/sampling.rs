@@ -2,9 +2,7 @@
 //! partitioners backing the DGCL-like baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rdm_graph::{
-    greedy_bfs_partition, random_partition, DatasetSpec, SaintSampler,
-};
+use rdm_graph::{greedy_bfs_partition, random_partition, DatasetSpec, SaintSampler};
 
 fn bench_samplers(c: &mut Criterion) {
     let ds = DatasetSpec::synthetic("bench", 20_000, 160_000, 32, 8).instantiate(1);
@@ -54,7 +52,9 @@ fn bench_normalization(c: &mut Criterion) {
     group.bench_function("gcn_symmetric", |b| {
         b.iter(|| rdm_sparse::gcn_normalize(&ds.adj))
     });
-    group.bench_function("mean_row", |b| b.iter(|| rdm_sparse::mean_normalize(&ds.adj)));
+    group.bench_function("mean_row", |b| {
+        b.iter(|| rdm_sparse::mean_normalize(&ds.adj))
+    });
     group.bench_function("transpose", |b| b.iter(|| ds.adj_norm.transpose()));
     group.finish();
 }

@@ -8,7 +8,11 @@ use rdm_sparse::{gcn_normalize, spmm, spmm_masked};
 
 fn bench_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm");
-    for &(n, deg, f) in &[(10_000usize, 8usize, 32usize), (10_000, 8, 128), (40_000, 16, 128)] {
+    for &(n, deg, f) in &[
+        (10_000usize, 8usize, 32usize),
+        (10_000, 8, 128),
+        (40_000, 16, 128),
+    ] {
         let adj = gcn_normalize(&symmetrize(n, &rmat(n, n * deg, 1)));
         let h = Mat::random(n, f, 1.0, 2);
         let flops = 2 * adj.nnz() * f;
@@ -29,9 +33,7 @@ fn bench_spmm_masked(c: &mut Criterion) {
     let h = Mat::random(n, 64, 1.0, 2);
     // Half-dense mask (the sampled-halo variant of §III-F).
     let mask: Vec<bool> = (0..adj.nnz()).map(|i| i % 2 == 0).collect();
-    group.bench_function("half_mask_f64", |b| {
-        b.iter(|| spmm_masked(&adj, &h, &mask))
-    });
+    group.bench_function("half_mask_f64", |b| b.iter(|| spmm_masked(&adj, &h, &mask)));
     group.finish();
 }
 

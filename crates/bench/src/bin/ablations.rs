@@ -38,7 +38,14 @@ fn ablation_order_selection() {
     let p = 8;
     for name in ["OGB-Arxiv", "OGB-MAG", "Reddit", "CAMI-Oral"] {
         let ds = scaled_dataset(name).unwrap();
-        let shape = GnnShape::gcn(ds.n(), ds.adj_norm.nnz(), ds.spec.feature_size, 128, ds.spec.labels, 2);
+        let shape = GnnShape::gcn(
+            ds.n(),
+            ds.adj_norm.nnz(),
+            ds.spec.feature_size,
+            128,
+            ds.spec.labels,
+            2,
+        );
         let pareto = pareto_ids(&shape, p, p);
         // Worst = the config maximizing comm + spmm by the model.
         let worst = all_config_costs(&shape, p, p)
@@ -51,7 +58,12 @@ fn ablation_order_selection() {
             .unwrap()
             .0
             .id();
-        let best_report = run(&ds, &TrainerConfig::rdm_auto(p).hidden(128).epochs(bench_epochs()));
+        let best_report = run(
+            &ds,
+            &TrainerConfig::rdm_auto(p)
+                .hidden(128)
+                .epochs(bench_epochs()),
+        );
         let worst_report = run(
             &ds,
             &TrainerConfig::rdm(p, Plan::from_id(worst, 2, p))
@@ -92,7 +104,12 @@ fn ablation_memoization() {
         if !memoize {
             plan = plan.no_memoize();
         }
-        let report = run(&ds, &TrainerConfig::rdm(p, plan).hidden(128).epochs(bench_epochs()));
+        let report = run(
+            &ds,
+            &TrainerConfig::rdm(p, plan)
+                .hidden(128)
+                .epochs(bench_epochs()),
+        );
         let e = report.epochs.last().unwrap();
         t.row(&[
             memoize.to_string(),
@@ -109,7 +126,14 @@ fn ablation_replication() {
     println!();
     let ds = scaled_dataset("OGB-Products").unwrap();
     let p = 8;
-    let shape = GnnShape::gcn(ds.n(), ds.adj_norm.nnz(), ds.spec.feature_size, 128, ds.spec.labels, 2);
+    let shape = GnnShape::gcn(
+        ds.n(),
+        ds.adj_norm.nnz(),
+        ds.spec.feature_size,
+        128,
+        ds.spec.labels,
+        2,
+    );
     let base_plan = rdm_core::best_plan(&shape, p);
     let t = TablePrinter::new(&[6, 14, 14, 14, 14]);
     t.row(&[
@@ -122,7 +146,12 @@ fn ablation_replication() {
     t.sep();
     for r_a in [1usize, 2, 4, 8] {
         let plan = base_plan.clone().with_ra(r_a);
-        let report = run(&ds, &TrainerConfig::rdm(p, plan).hidden(128).epochs(bench_epochs()));
+        let report = run(
+            &ds,
+            &TrainerConfig::rdm(p, plan)
+                .hidden(128)
+                .epochs(bench_epochs()),
+        );
         let e = report.epochs.last().unwrap();
         let mp = MemoryParams {
             n: ds.n(),
@@ -159,4 +188,3 @@ fn ablation_allreduce() {
     println!("ring        : {:.2} MB total", total(&ring));
     println!("(the trainers use the ring schedule; naive grows quadratically in P)");
 }
-

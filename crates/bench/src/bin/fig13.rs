@@ -33,12 +33,18 @@ fn main() {
         };
         // The paper drops the lr to 0.001 for GraphSAINT-RDM on the
         // metagenomics datasets for stability.
-        let saint_lr = if name.starts_with("CAMI") { 0.001 } else { 0.01 };
+        let saint_lr = if name.starts_with("CAMI") {
+            0.001
+        } else {
+            0.01
+        };
         let systems = vec![
             ("GCN-RDM", TrainerConfig::rdm_auto(p).epochs(epochs)),
             (
                 "SAINT-RDM",
-                TrainerConfig::saint_rdm(p, sampler).epochs(epochs).lr(saint_lr),
+                TrainerConfig::saint_rdm(p, sampler)
+                    .epochs(epochs)
+                    .lr(saint_lr),
             ),
             (
                 "SAINT-DDP",
@@ -73,12 +79,7 @@ fn main() {
                 series.push_str(&format!("({cum:.3},{:.3}) ", e.test_acc));
             }
             let fmt = |o: Option<f64>| o.map_or("-".to_string(), |v| format!("{v:.3}"));
-            t.row(&[
-                label.into(),
-                fmt(t25),
-                fmt(t50),
-                format!("{final_acc:.3}"),
-            ]);
+            t.row(&[label.into(), fmt(t25), fmt(t50), format!("{final_acc:.3}")]);
             println!("  series[{label}]: {series}");
         }
         println!();

@@ -19,7 +19,14 @@ fn main() {
     ]);
     t.sep();
     for spec in paper_datasets() {
-        let shape = GnnShape::gcn(spec.vertices, 2 * spec.edges + spec.vertices, spec.feature_size, 128, spec.labels, 2);
+        let shape = GnnShape::gcn(
+            spec.vertices,
+            2 * spec.edges + spec.vertices,
+            spec.feature_size,
+            128,
+            spec.labels,
+            2,
+        );
         let ids = pareto_ids(&shape, 8, 8);
         let ids_str = ids
             .iter()
@@ -36,5 +43,7 @@ fn main() {
     }
     println!();
     println!("Paper values: Arxiv 5 | MAG 10 | Products 5 | Reddit 2,3,10 |");
-    println!("              Web-Google 2,3,10 | Com-Orkut 5,10 | CAMI-Airways 2,3,10 | CAMI-Oral 2,3,10");
+    println!(
+        "              Web-Google 2,3,10 | Com-Orkut 5,10 | CAMI-Airways 2,3,10 | CAMI-Oral 2,3,10"
+    );
 }

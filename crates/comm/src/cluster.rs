@@ -1,5 +1,6 @@
 //! The SPMD execution driver.
 
+use crate::fault::FaultPlan;
 use crate::mailbox::{Barrier, Fabric};
 use crate::stats::{CollectiveKind, CommStats};
 use rdm_dense::Mat;
@@ -11,8 +12,13 @@ use std::time::Instant;
 ///
 /// [`Cluster::run`] executes one SPMD closure on every rank concurrently;
 /// ranks may only interact through the [`RankCtx`] passed to the closure.
+/// [`Cluster::with_faults`] makes every run's fabric misbehave per a seeded
+/// [`FaultPlan`] — the retrying envelope protocol still delivers everything
+/// in order, so SPMD results are unchanged while `retries` /
+/// `retransmit_bytes` show up in the returned [`CommStats`].
 pub struct Cluster {
     p: usize,
+    plan: Option<FaultPlan>,
 }
 
 /// Per-rank results of a [`Cluster::run`].
@@ -30,12 +36,29 @@ impl Cluster {
     /// If `p == 0`.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "cluster needs at least one rank");
-        Cluster { p }
+        Cluster { p, plan: None }
+    }
+
+    /// A cluster whose fabric injects the faults described by `plan`.
+    ///
+    /// # Panics
+    /// If `p == 0`.
+    pub fn with_faults(p: usize, plan: FaultPlan) -> Self {
+        assert!(p > 0, "cluster needs at least one rank");
+        Cluster {
+            p,
+            plan: Some(plan),
+        }
     }
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.p
+    }
+
+    /// The fault plan every run's fabric will follow, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
     }
 
     /// Run `f` on every rank concurrently and wait for all to finish.
@@ -48,16 +71,16 @@ impl Cluster {
         T: Send,
         F: Fn(&RankCtx) -> T + Sync,
     {
-        let fabric = Arc::new(Fabric::new(self.p));
+        let fabric = Arc::new(Fabric::with_faults(self.p, self.plan));
         let barrier = Arc::new(Barrier::new(self.p));
         let mut slots: Vec<Option<(T, CommStats)>> = (0..self.p).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.p);
             for (rank, slot) in slots.iter_mut().enumerate() {
                 let fabric = fabric.clone();
                 let barrier = barrier.clone();
                 let f = &f;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let ctx = RankCtx {
                         rank,
                         fabric,
@@ -71,8 +94,7 @@ impl Cluster {
             for h in handles {
                 h.join().expect("rank thread panicked");
             }
-        })
-        .expect("cluster scope failed");
+        });
         assert!(
             fabric.all_drained(),
             "unconsumed messages left in the fabric: mismatched collectives"
@@ -118,10 +140,14 @@ impl RankCtx {
         assert_ne!(dst, self.rank, "self-send: keep the data local instead");
         assert!(dst < self.size(), "send to rank {dst} out of range");
         let t0 = Instant::now();
-        let bytes = msg.nbytes();
-        self.fabric.send(self.rank, dst, msg);
+        let receipt = self.fabric.send(self.rank, dst, msg);
         let mut st = self.stats.borrow_mut();
-        st.record_send(kind, bytes);
+        st.record_send(kind, receipt.bytes);
+        st.record_retransmits(
+            receipt.retries,
+            receipt.retransmit_bytes,
+            receipt.backoff_ns,
+        );
         st.record_time(t0.elapsed());
     }
 
@@ -176,7 +202,11 @@ mod tests {
             let me = ctx.rank();
             let next = (me + 1) % p;
             let prev = (me + p - 1) % p;
-            ctx.send(next, Mat::from_vec(1, 2, vec![me as f32, 1.0]), CollectiveKind::Other);
+            ctx.send(
+                next,
+                Mat::from_vec(1, 2, vec![me as f32, 1.0]),
+                CollectiveKind::Other,
+            );
             let got = ctx.recv(prev);
             got.get(0, 0) as usize
         });
@@ -222,6 +252,64 @@ mod tests {
                 ctx.send(0, Mat::zeros(1, 1), CollectiveKind::Other);
             }
         });
+    }
+
+    #[test]
+    fn faulty_cluster_same_results_nonzero_retransmits() {
+        use crate::fault::FaultPlan;
+        let p = 4;
+        let spmd = |ctx: &RankCtx| {
+            let me = ctx.rank();
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
+            for round in 0..20 {
+                ctx.send(
+                    next,
+                    Mat::from_vec(1, 1, vec![(me * 100 + round) as f32]),
+                    CollectiveKind::Other,
+                );
+                let got = ctx.recv(prev);
+                assert_eq!(got.get(0, 0) as usize, prev * 100 + round);
+            }
+            me
+        };
+        let clean = Cluster::new(p).run(spmd);
+        let faulty = Cluster::with_faults(p, FaultPlan::new(17).drop_rate(0.3)).run(spmd);
+        assert_eq!(clean.results, faulty.results);
+        // Payload accounting identical; retransmits only under faults.
+        for r in 0..p {
+            assert_eq!(clean.stats[r].total_bytes(), faulty.stats[r].total_bytes());
+            assert_eq!(clean.stats[r].retries, 0);
+            assert_eq!(clean.stats[r].retransmit_bytes, 0);
+        }
+        let total_retries: u64 = faulty.stats.iter().map(|s| s.retries).sum();
+        assert!(total_retries > 0, "drop rate 0.3 never dropped an attempt");
+    }
+
+    #[test]
+    fn fault_retry_counts_reproducible_across_runs() {
+        use crate::fault::FaultPlan;
+        let run = || {
+            let out = Cluster::with_faults(3, FaultPlan::new(5).drop_rate(0.25)).run(|ctx| {
+                let me = ctx.rank();
+                for dst in 0..3 {
+                    if dst != me {
+                        ctx.send(
+                            dst,
+                            Mat::from_vec(1, 1, vec![me as f32]),
+                            CollectiveKind::Other,
+                        );
+                    }
+                }
+                for src in 0..3 {
+                    if src != me {
+                        let _ = ctx.recv(src);
+                    }
+                }
+            });
+            out.stats.iter().map(|s| s.retries).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

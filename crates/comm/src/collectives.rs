@@ -65,12 +65,7 @@ impl RankCtx {
 
     /// All-gather within `group`: every rank contributes `part`; returns the
     /// parts of all members ordered by group position.
-    pub fn group_all_gather(
-        &self,
-        group: &[usize],
-        part: Mat,
-        kind: CollectiveKind,
-    ) -> Vec<Mat> {
+    pub fn group_all_gather(&self, group: &[usize], part: Mat, kind: CollectiveKind) -> Vec<Mat> {
         let my_idx = self.group_index(group);
         for &dst in group {
             if dst != self.rank() {
@@ -145,12 +140,7 @@ impl RankCtx {
 
     /// Element-wise sum all-reduce within `group` (naive all-gather
     /// implementation; exact for small payloads like weight gradients).
-    pub fn group_all_reduce_sum(
-        &self,
-        group: &[usize],
-        mat: Mat,
-        kind: CollectiveKind,
-    ) -> Mat {
+    pub fn group_all_reduce_sum(&self, group: &[usize], mat: Mat, kind: CollectiveKind) -> Mat {
         let parts = self.group_all_gather(group, mat, kind);
         let mut acc = parts[0].clone();
         for p in &parts[1..] {
@@ -362,9 +352,7 @@ mod tests {
             let m = Mat::from_fn(2, 2, |i, j| (ctx.rank() + i + j) as f32);
             ctx.all_reduce_sum(m, K)
         });
-        let expect = Mat::from_fn(2, 2, |i, j| {
-            (0..p).map(|r| (r + i + j) as f32).sum()
-        });
+        let expect = Mat::from_fn(2, 2, |i, j| (0..p).map(|r| (r + i + j) as f32).sum());
         for m in &out.results {
             assert!(allclose(m, &expect, 1e-6));
         }

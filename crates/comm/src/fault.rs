@@ -1,0 +1,281 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] decides, purely from a `u64` seed and the coordinates of
+//! a transmission attempt `(src, dst, seq, attempt)`, whether that attempt
+//! is *dropped*, how far a delivered copy is *reordered* behind later
+//! traffic, and whether the link stalls with *straggler* latency. Because
+//! every decision is a hash of those coordinates — no global RNG, no
+//! wall-clock input — a chaos run is bit-reproducible: the same seed yields
+//! the same drops, the same retransmit counts and the same delivery order
+//! on every machine, regardless of thread scheduling.
+//!
+//! The decision function is SplitMix64 over the packed coordinates, the
+//! same construction the shimmed `rand` uses; it is cheap enough to sit on
+//! the per-message hot path (a few multiplies per decision, no allocation).
+
+/// SplitMix64 finalizer: one round of strong 64-bit mixing.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash the coordinates of one transmission attempt into a uniform u64.
+#[inline]
+fn attempt_hash(seed: u64, src: usize, dst: usize, seq: u64, attempt: u32, salt: u64) -> u64 {
+    let mut h = mix(seed ^ salt);
+    h = mix(h ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h = mix(h ^ (dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    h = mix(h ^ seq);
+    mix(h ^ attempt as u64)
+}
+
+/// Map a hash to a uniform f64 in `[0, 1)`.
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const SALT_DROP: u64 = 0xD509;
+const SALT_DELAY: u64 = 0xDE1A;
+const SALT_STRAGGLE: u64 = 0x57A6;
+
+/// Retransmission gives up after this many attempts per message. With the
+/// hash uniform, `drop_rate^64` is unreachable for any `drop_rate < 1`
+/// that the API accepts, so hitting the cap means the plan is broken.
+pub const MAX_ATTEMPTS: u32 = 64;
+
+/// A seeded description of how the fabric misbehaves.
+///
+/// All probabilities are per transmission *attempt* and per link; the plan
+/// is consulted by [`crate::mailbox::Fabric`] on every send. The default
+/// plan injects nothing, so `FaultPlan::new(seed)` alone is a no-op until
+/// fault kinds are enabled with the builder methods.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every decision hash.
+    pub seed: u64,
+    /// Probability an attempt is lost in flight (original send and each
+    /// retransmit alike). Must be in `[0, 1)`.
+    pub drop_rate: f64,
+    /// Probability the delivered copy of a message is reordered behind
+    /// later traffic on the same link.
+    pub delay_rate: f64,
+    /// Maximum number of later messages a delayed copy queues behind.
+    pub max_delay: u32,
+    /// Probability a delivered copy incurs straggler latency (a real,
+    /// bounded stall of the sending thread, perturbing interleavings).
+    pub straggler_rate: f64,
+    /// Straggler stall length, nanoseconds.
+    pub straggler_ns: u64,
+    /// Base retransmission timeout in virtual nanoseconds; attempt `k`
+    /// backs off to `base << k`. Accounted, never slept.
+    pub backoff_base_ns: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (seed retained for builder use).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 3,
+            straggler_rate: 0.0,
+            straggler_ns: 50_000,
+            backoff_base_ns: 1_000,
+        }
+    }
+
+    /// Drop each transmission attempt with probability `rate`.
+    ///
+    /// # Panics
+    /// If `rate` is not in `[0, 1)` — a rate of 1.0 can never deliver.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "drop rate must be in [0, 1), got {rate}"
+        );
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Reorder delivered copies with probability `rate`, queueing each
+    /// behind up to `max_delay` later messages on the link.
+    pub fn delay(mut self, rate: f64, max_delay: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "delay rate must be in [0, 1], got {rate}"
+        );
+        assert!(max_delay > 0, "max_delay must be positive");
+        self.delay_rate = rate;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Stall the sender for `ns` wall nanoseconds with probability `rate`
+    /// per delivered message — the "slow link / straggler rank" fault.
+    pub fn straggler(mut self, rate: f64, ns: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "straggler rate must be in [0, 1], got {rate}"
+        );
+        self.straggler_rate = rate;
+        self.straggler_ns = ns;
+        self
+    }
+
+    /// True when the plan can never perturb anything.
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate == 0.0 && self.delay_rate == 0.0 && self.straggler_rate == 0.0
+    }
+
+    /// Is transmission attempt `attempt` of `(src, dst, seq)` lost?
+    #[inline]
+    pub fn attempt_dropped(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> bool {
+        self.drop_rate > 0.0
+            && unit(attempt_hash(self.seed, src, dst, seq, attempt, SALT_DROP)) < self.drop_rate
+    }
+
+    /// Resolve the full fate of message `seq` on link `src → dst`: how many
+    /// attempts are lost before one lands, how far the landed copy is
+    /// reordered, and any straggler stall. Pure — two calls with the same
+    /// arguments always agree, which is what makes retry counts
+    /// reproducible across runs.
+    pub fn resolve(&self, src: usize, dst: usize, seq: u64) -> Resolution {
+        let mut attempt = 0;
+        while self.attempt_dropped(src, dst, seq, attempt) {
+            attempt += 1;
+            assert!(
+                attempt < MAX_ATTEMPTS,
+                "link {src}->{dst} seq {seq}: {MAX_ATTEMPTS} consecutive drops — \
+                 fault plan cannot deliver"
+            );
+        }
+        let delay = {
+            let h = attempt_hash(self.seed, src, dst, seq, attempt, SALT_DELAY);
+            if self.delay_rate > 0.0 && unit(h) < self.delay_rate {
+                1 + (mix(h) % self.max_delay as u64) as u32
+            } else {
+                0
+            }
+        };
+        let straggle_ns = {
+            let h = attempt_hash(self.seed, src, dst, seq, attempt, SALT_STRAGGLE);
+            if self.straggler_rate > 0.0 && unit(h) < self.straggler_rate {
+                self.straggler_ns
+            } else {
+                0
+            }
+        };
+        // Exponential backoff: the sender waits base, 2·base, 4·base, …
+        // between attempts; `attempt` failures accumulate base·(2^a − 1).
+        let backoff_ns = if attempt == 0 {
+            0
+        } else {
+            self.backoff_base_ns
+                .saturating_mul((1u64 << attempt.min(40)) - 1)
+        };
+        Resolution {
+            retries: attempt,
+            delay,
+            straggle_ns,
+            backoff_ns,
+        }
+    }
+}
+
+/// The resolved fate of one message on one link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resolution {
+    /// Lost attempts before the successful one (0 = first try landed).
+    pub retries: u32,
+    /// How many later messages the delivered copy queues behind.
+    pub delay: u32,
+    /// Real stall injected at the sender, nanoseconds.
+    pub straggle_ns: u64,
+    /// Modeled exponential-backoff wait accumulated by the lost attempts.
+    pub backoff_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let plan = FaultPlan::new(42).drop_rate(0.3).delay(0.2, 4);
+        for seq in 0..200 {
+            assert_eq!(plan.resolve(1, 2, seq), plan.resolve(1, 2, seq));
+        }
+    }
+
+    #[test]
+    fn different_links_decide_independently() {
+        let plan = FaultPlan::new(7).drop_rate(0.5);
+        let a: Vec<u32> = (0..64).map(|s| plan.resolve(0, 1, s).retries).collect();
+        let b: Vec<u32> = (0..64).map(|s| plan.resolve(1, 0, s).retries).collect();
+        assert_ne!(a, b, "both directions of a link drew identical fates");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::new(9);
+        assert!(plan.is_noop());
+        for seq in 0..100 {
+            assert_eq!(plan.resolve(0, 1, seq), Resolution::default());
+        }
+    }
+
+    #[test]
+    fn drop_rate_controls_retry_frequency() {
+        let plan = FaultPlan::new(3).drop_rate(0.5);
+        let retried = (0..2000)
+            .filter(|&s| plan.resolve(0, 1, s).retries > 0)
+            .count();
+        // ~50% of messages should lose their first attempt.
+        assert!((800..1200).contains(&retried), "got {retried}");
+    }
+
+    #[test]
+    fn delay_depth_bounded_by_max() {
+        let plan = FaultPlan::new(5).delay(1.0, 3);
+        for seq in 0..500 {
+            let d = plan.resolve(2, 0, seq).delay;
+            assert!((1..=3).contains(&d), "seq {seq} delayed by {d}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let plan = FaultPlan::new(11).drop_rate(0.9);
+        // Find messages with 1 and 2 retries and check the modeled wait.
+        let mut seen = [false; 3];
+        for seq in 0..5000 {
+            let r = plan.resolve(0, 1, seq);
+            match r.retries {
+                1 => {
+                    assert_eq!(r.backoff_ns, plan.backoff_base_ns);
+                    seen[1] = true;
+                }
+                2 => {
+                    assert_eq!(r.backoff_ns, 3 * plan.backoff_base_ns);
+                    seen[2] = true;
+                }
+                _ => {}
+            }
+            if seen[1] && seen[2] {
+                return;
+            }
+        }
+        panic!("no messages with 1 and 2 retries at drop rate 0.9");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate must be in [0, 1)")]
+    fn rejects_certain_loss() {
+        let _ = FaultPlan::new(0).drop_rate(1.0);
+    }
+}

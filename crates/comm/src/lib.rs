@@ -10,16 +10,25 @@
 //!
 //! * [`cluster`] — [`Cluster::run`]: spawn `P` ranks, run an SPMD closure,
 //!   join, and return per-rank results plus [`CommStats`].
-//! * [`mailbox`] — the blocking FIFO channel fabric between rank pairs.
+//! * [`mailbox`] — the blocking channel fabric between rank pairs, running
+//!   a sequence-numbered envelope protocol with ack-purged retransmission
+//!   so per-link FIFO delivery survives an unreliable wire.
+//! * [`fault`] — deterministic, seed-reproducible fault injection
+//!   ([`FaultPlan`]): per-link drops, reordering delays and stragglers.
+//!   [`Cluster::with_faults`] runs any SPMD program under a plan; results
+//!   are bit-identical to the fault-free run while retransmission cost is
+//!   accounted separately in [`CommStats`].
 //! * [`collectives`] — broadcast / all-gather / all-to-all / all-reduce /
 //!   reduce-scatter / barrier, including *group* variants over a subset of
 //!   ranks (needed by the `R_A < P` row-panel scheme of §III-E).
-//! * [`stats`] — byte, message and wall-time accounting.
+//! * [`stats`] — byte, message, wall-time and retransmission accounting.
 
 pub mod cluster;
 pub mod collectives;
+pub mod fault;
 pub mod mailbox;
 pub mod stats;
 
 pub use cluster::{Cluster, RankCtx};
+pub use fault::{FaultPlan, Resolution};
 pub use stats::{CollectiveKind, CommStats};

@@ -51,6 +51,16 @@ pub struct CommStats {
     /// Wall-clock time spent inside communication calls (send, blocked
     /// receive, barrier).
     pub comm_time: Duration,
+    /// Transmission attempts lost to injected faults and re-sent. Zero on a
+    /// perfect fabric.
+    pub retries: u64,
+    /// Payload bytes carried by those retransmissions. Kept separate from
+    /// `bytes_sent` so fault injection never perturbs the paper's
+    /// communication-volume accounting.
+    pub retransmit_bytes: u64,
+    /// Modeled exponential-backoff wait accumulated by retries, in virtual
+    /// nanoseconds (accounted, never slept).
+    pub backoff_ns: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -70,6 +80,15 @@ impl CommStats {
     /// Add blocking-communication wall time.
     pub fn record_time(&mut self, d: Duration) {
         self.comm_time += d;
+    }
+
+    /// Record what fault-induced retransmission cost one send: `retries`
+    /// lost attempts carrying `bytes` re-sent bytes, plus `backoff_ns` of
+    /// modeled backoff wait. No-op when all are zero (the fault-free path).
+    pub fn record_retransmits(&mut self, retries: u32, bytes: u64, backoff_ns: u64) {
+        self.retries += retries as u64;
+        self.retransmit_bytes += bytes;
+        self.backoff_ns += backoff_ns;
     }
 
     /// Total bytes sent across all kinds.
@@ -100,6 +119,9 @@ impl CommStats {
             e.messages += ks.messages;
         }
         self.comm_time += other.comm_time;
+        self.retries += other.retries;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.backoff_ns += other.backoff_ns;
     }
 
     /// `self - baseline` for every counter; used to carve an epoch's stats
@@ -113,6 +135,11 @@ impl CommStats {
             e.messages = ks.messages.saturating_sub(b.messages);
         }
         out.comm_time = self.comm_time.saturating_sub(baseline.comm_time);
+        out.retries = self.retries.saturating_sub(baseline.retries);
+        out.retransmit_bytes = self
+            .retransmit_bytes
+            .saturating_sub(baseline.retransmit_bytes);
+        out.backoff_ns = self.backoff_ns.saturating_sub(baseline.backoff_ns);
         out
     }
 }
@@ -144,6 +171,29 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.bytes(CollectiveKind::AllReduce), 12);
         assert_eq!(a.bytes(CollectiveKind::Halo), 2);
+    }
+
+    #[test]
+    fn retransmits_tracked_separately_from_payload() {
+        let mut s = CommStats::default();
+        s.record_send(CollectiveKind::Redistribute, 100);
+        s.record_retransmits(3, 300, 7_000);
+        // Retransmitted bytes never leak into the paper's volume counters.
+        assert_eq!(s.total_bytes(), 100);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.retransmit_bytes, 300);
+        assert_eq!(s.backoff_ns, 7_000);
+
+        let mut merged = CommStats::default();
+        merged.record_retransmits(1, 50, 1_000);
+        merged.merge(&s);
+        assert_eq!(merged.retries, 4);
+        assert_eq!(merged.retransmit_bytes, 350);
+
+        let d = merged.delta_since(&s);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.retransmit_bytes, 50);
+        assert_eq!(d.backoff_ns, 1_000);
     }
 
     #[test]

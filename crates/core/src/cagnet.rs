@@ -16,7 +16,9 @@ use crate::adam::Adam;
 use crate::dist::{Dist, DistMat};
 use crate::gcn::GcnWeights;
 use crate::loss::{accuracy, softmax_xent, LossSpec};
-use crate::ops::{bcast_spmm, dist_gemm, dist_gemm_nt, panel_spmm, weight_grad, OpCounters, PanelGrid};
+use crate::ops::{
+    bcast_spmm, dist_gemm, dist_gemm_nt, panel_spmm, weight_grad, OpCounters, PanelGrid,
+};
 use rdm_comm::{CollectiveKind, RankCtx};
 use rdm_dense::{part_range, relu, relu_backward, Mat};
 use rdm_graph::dataset::{Dataset, Split};
@@ -122,8 +124,7 @@ impl CagnetTrainer {
                     CollectiveKind::Redistribute,
                 );
                 // Broadcast within the column group and multiply my panel.
-                let out_tile =
-                    panel_spmm(self.grid, &self.panel, &tile_local, self.n, f, ctx, ops);
+                let out_tile = panel_spmm(self.grid, &self.panel, &tile_local, self.n, f, ctx, ops);
                 // 2-D tiles → P-way row slices for the GEMM.
                 let out_local = ctx.group_redistribute_v_to_h(
                     &row_group,
@@ -294,9 +295,7 @@ mod tests {
             });
             out.stats
                 .iter()
-                .map(|s| {
-                    s.bytes(CollectiveKind::Broadcast) + s.bytes(CollectiveKind::Redistribute)
-                })
+                .map(|s| s.bytes(CollectiveKind::Broadcast) + s.bytes(CollectiveKind::Redistribute))
                 .sum::<u64>()
         };
         let v1 = vol(CagnetVariant::OneD);

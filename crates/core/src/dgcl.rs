@@ -106,9 +106,7 @@ impl DgclTrainer {
         let panel = adj_perm.row_panel(my_range.start, my_range.end);
         let owner_of = |v: usize| -> usize {
             // part_range boundaries are monotone; binary search the owner.
-            (0..p)
-                .find(|&r| part_range(n, p, r).contains(&v))
-                .unwrap()
+            (0..p).find(|&r| part_range(n, p, r).contains(&v)).unwrap()
         };
         // Distinct remote vertices appearing in my panel, grouped by owner.
         let mut halo_of: Vec<Vec<u32>> = vec![Vec::new(); p];
@@ -300,7 +298,9 @@ mod tests {
                 .run(move |ctx| {
                     let mut t = DgclTrainer::setup(&ds, 8, 2, 0.01, 5, ctx);
                     let mut ops = OpCounters::default();
-                    (0..3).map(|_| t.epoch(ctx, &mut ops).0).collect::<Vec<f32>>()
+                    (0..3)
+                        .map(|_| t.epoch(ctx, &mut ops).0)
+                        .collect::<Vec<f32>>()
                 })
                 .results
         };
@@ -308,10 +308,11 @@ mod tests {
             let ds = ds.clone();
             Cluster::new(4)
                 .run(move |ctx| {
-                    let mut t =
-                        CagnetTrainer::setup(&ds, 8, 2, 0.01, 5, CagnetVariant::OneD, ctx);
+                    let mut t = CagnetTrainer::setup(&ds, 8, 2, 0.01, 5, CagnetVariant::OneD, ctx);
                     let mut ops = OpCounters::default();
-                    (0..3).map(|_| t.epoch(ctx, &mut ops).0).collect::<Vec<f32>>()
+                    (0..3)
+                        .map(|_| t.epoch(ctx, &mut ops).0)
+                        .collect::<Vec<f32>>()
                 })
                 .results
         };

@@ -285,11 +285,8 @@ mod tests {
         let adj = rdm_sparse::Csr::identity(16);
         let out = Cluster::new(4).run(move |ctx| {
             let topo = crate::ops::Topology::full(&adj, ctx);
-            let mut cache = FormCache::of_row(DistMat::scatter_rows(
-                &global,
-                ctx.size(),
-                ctx.rank(),
-            ));
+            let mut cache =
+                FormCache::of_row(DistMat::scatter_rows(&global, ctx.size(), ctx.rank()));
             assert!(!cache.has_col());
             let before = ctx.stats_snapshot().total_bytes();
             cache.require_col(&topo, ctx, K);

@@ -168,7 +168,11 @@ pub fn rdm_backward(
     ops: &mut OpCounters,
 ) -> BackwardResult {
     let layers = plan.config.layers();
-    assert_eq!(loss_grad.dist, Dist::Row, "loss gradient arrives row-sliced");
+    assert_eq!(
+        loss_grad.dist,
+        Dist::Row,
+        "loss gradient arrives row-sliced"
+    );
     let mut g_cache = FormCache::of_row(loss_grad);
     let mut weight_grads: Vec<Mat> = weights
         .w
@@ -444,10 +448,7 @@ mod tests {
                 logits.gather(ctx, CollectiveKind::Other)
             });
             for got in &out.results {
-                assert!(
-                    allclose(got, &lr, 1e-3),
-                    "config ID {id} forward mismatch"
-                );
+                assert!(allclose(got, &lr, 1e-3), "config ID {id} forward mismatch");
             }
         }
     }
@@ -462,8 +463,7 @@ mod tests {
         let serial_h = serial::forward(&ds.adj_norm, &ds.features, &weights);
         let mask = vec![true; ds.n()];
         let (_, lg) = loss_serial::softmax_xent(serial_h.last().unwrap(), &ds.labels, &mask);
-        let (serial_grads, serial_g0) =
-            serial::backward(&ds.adj_norm, &serial_h, &weights, &lg);
+        let (serial_grads, serial_g0) = serial::backward(&ds.adj_norm, &serial_h, &weights, &lg);
         for id in 0..16 {
             let plan = Plan::from_id(id, 2, 4);
             let (adj, feats, w2, labels) = (
@@ -486,8 +486,7 @@ mod tests {
                     num_classes: 4,
                 };
                 let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
-                let back =
-                    rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                let back = rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
                 let g0 = match back.g0.dist {
                     Dist::Row => back.g0.gather(ctx, CollectiveKind::Other),
                     Dist::Col => topo.gather_tile(&back.g0, ctx, CollectiveKind::Other),
@@ -546,8 +545,7 @@ mod tests {
                     num_classes: 4,
                 };
                 let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
-                let back =
-                    rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                let back = rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
                 back.weight_grads
             });
             for grads in &out.results {
@@ -600,8 +598,7 @@ mod tests {
                         num_classes: 4,
                     };
                     let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
-                    let back =
-                        rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                    let back = rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
                     back.weight_grads
                 });
                 for grads in &out.results {
@@ -651,8 +648,7 @@ mod tests {
                     num_classes: 4,
                 };
                 let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
-                let back =
-                    rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
+                let back = rdm_backward(ctx, &topo, &mut art, &w2, &plan, lgrad, &fd, &mut ops);
                 (back.weight_grads, ops)
             })
         };
@@ -774,9 +770,7 @@ mod tests {
             let measured: u64 = out
                 .stats
                 .iter()
-                .map(|s| {
-                    s.bytes(CollectiveKind::Redistribute) + s.bytes(CollectiveKind::Broadcast)
-                })
+                .map(|s| s.bytes(CollectiveKind::Redistribute) + s.bytes(CollectiveKind::Broadcast))
                 .sum();
             let expect_bytes = (expect.comm_elems * 4.0) as u64;
             assert_eq!(

@@ -22,11 +22,7 @@ pub struct LossSpec<'a> {
 /// respect to the logits, evaluated on a row-sliced logits matrix. The
 /// returned gradient is row-sliced like the input; the scalar loss is
 /// identical on every rank.
-pub fn softmax_xent(
-    logits: &DistMat,
-    spec: &LossSpec<'_>,
-    ctx: &RankCtx,
-) -> (f32, DistMat) {
+pub fn softmax_xent(logits: &DistMat, spec: &LossSpec<'_>, ctx: &RankCtx) -> (f32, DistMat) {
     assert_eq!(logits.dist, Dist::Row, "loss needs row-sliced logits");
     assert_eq!(spec.labels.len(), logits.rows);
     assert_eq!(spec.mask.len(), logits.rows);
@@ -226,13 +222,17 @@ mod tests {
         let n = 10;
         let c = 3;
         let labels: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
-        let logits = Mat::from_fn(n, c, |i, j| {
-            if j == labels[i] as usize {
-                10.0
-            } else {
-                -10.0
-            }
-        });
+        let logits = Mat::from_fn(
+            n,
+            c,
+            |i, j| {
+                if j == labels[i] as usize {
+                    10.0
+                } else {
+                    -10.0
+                }
+            },
+        );
         let mask = vec![true; n];
         let (loss, _) = serial::softmax_xent(&logits, &labels, &mask);
         assert!(loss < 1e-3);

@@ -100,6 +100,18 @@ impl EpochMetrics {
     pub fn broadcast_bytes(&self) -> u64 {
         self.comm.bytes(CollectiveKind::Broadcast)
     }
+
+    /// Transmission attempts lost to injected faults this epoch (summed
+    /// over ranks). Zero on a perfect fabric.
+    pub fn retries(&self) -> u64 {
+        self.comm.retries
+    }
+
+    /// Bytes re-sent by fault-induced retransmissions this epoch — kept
+    /// out of `total_bytes`, which stays the paper's payload volume.
+    pub fn retransmit_bytes(&self) -> u64 {
+        self.comm.retransmit_bytes
+    }
 }
 
 /// A whole training run.
@@ -145,8 +157,21 @@ impl TrainReport {
 
     /// Mean inter-rank traffic per epoch, bytes.
     pub fn mean_bytes_per_epoch(&self) -> f64 {
-        self.epochs.iter().map(|e| e.total_bytes as f64).sum::<f64>()
+        self.epochs
+            .iter()
+            .map(|e| e.total_bytes as f64)
+            .sum::<f64>()
             / self.epochs.len() as f64
+    }
+
+    /// Fault-induced retransmission attempts over the whole run.
+    pub fn total_retries(&self) -> u64 {
+        self.epochs.iter().map(|e| e.retries()).sum()
+    }
+
+    /// Bytes re-sent by fault-induced retransmissions over the whole run.
+    pub fn total_retransmit_bytes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.retransmit_bytes()).sum()
     }
 }
 

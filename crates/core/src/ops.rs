@@ -32,9 +32,19 @@ impl OpCounters {
 /// # Panics
 /// If `input` is not column-sliced or shapes mismatch.
 pub fn dist_spmm(adj: &Csr, input: &DistMat, ops: &mut OpCounters) -> DistMat {
-    assert_eq!(input.dist, Dist::Col, "dist_spmm needs a column-sliced input");
-    assert_eq!(adj.cols(), input.rows, "dist_spmm: A is {}x{} but In has {} global rows",
-        adj.rows(), adj.cols(), input.rows);
+    assert_eq!(
+        input.dist,
+        Dist::Col,
+        "dist_spmm needs a column-sliced input"
+    );
+    assert_eq!(
+        adj.cols(),
+        input.rows,
+        "dist_spmm: A is {}x{} but In has {} global rows",
+        adj.rows(),
+        adj.cols(),
+        input.rows
+    );
     let local = spmm(adj, &input.local);
     ops.spmm_fma += adj.nnz() as f64 * input.local.cols() as f64;
     DistMat {
@@ -63,7 +73,11 @@ pub fn dist_gemm(input: &DistMat, w: &Mat, ops: &mut OpCounters) -> DistMat {
 /// Communication-free distributed GEMM against a transposed replicated
 /// weight: `Out = In · Wᵀ` (the backward gradient propagation `G·Wᵀ`).
 pub fn dist_gemm_nt(input: &DistMat, w: &Mat, ops: &mut OpCounters) -> DistMat {
-    assert_eq!(input.dist, Dist::Row, "dist_gemm_nt needs a row-sliced input");
+    assert_eq!(
+        input.dist,
+        Dist::Row,
+        "dist_gemm_nt needs a row-sliced input"
+    );
     assert_eq!(input.cols, w.cols(), "dist_gemm_nt shape mismatch");
     let local = gemm_nt(&input.local, w);
     ops.gemm_fma += input.local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
@@ -140,7 +154,10 @@ impl PanelGrid {
     /// # Panics
     /// If `r_a` does not divide `p`.
     pub fn new(p: usize, r_a: usize) -> Self {
-        assert!(r_a >= 1 && r_a <= p && p.is_multiple_of(r_a), "R_A must divide P");
+        assert!(
+            r_a >= 1 && r_a <= p && p.is_multiple_of(r_a),
+            "R_A must divide P"
+        );
         PanelGrid { p, r_a }
     }
 
@@ -209,7 +226,11 @@ pub fn panel_spmm(
         parts.push(part);
     }
     let col_slice = rdm_dense::vstack(&parts);
-    assert_eq!(col_slice.rows(), global_rows, "assembled slice must span all rows");
+    assert_eq!(
+        col_slice.rows(),
+        global_rows,
+        "assembled slice must span all rows"
+    );
     let _ = global_cols;
     let out = spmm(panel, &col_slice);
     ops.spmm_fma += panel.nnz() as f64 * col_slice.cols() as f64;
@@ -271,7 +292,9 @@ impl Topology {
         assert_eq!(adj.rows(), adj_t.rows(), "transpose shape mismatch");
         assert_eq!(adj.nnz(), adj_t.nnz(), "transpose nnz mismatch");
         let mut topo = Self::new(adj, r_a, ctx);
-        let rows = topo.grid.panel_rows(adj.rows(), topo.grid.panel_of(ctx.rank()));
+        let rows = topo
+            .grid
+            .panel_rows(adj.rows(), topo.grid.panel_of(ctx.rank()));
         topo.panel_t = Some(adj_t.row_panel(rows.start, rows.end));
         topo
     }
@@ -330,7 +353,12 @@ impl Topology {
     /// [`Topology::spmm`] for the symmetric GCN normalization, and the
     /// transposed panel for mean/GraphSAGE aggregation.
     pub fn spmm_bwd(&self, input: &DistMat, ctx: &RankCtx, ops: &mut OpCounters) -> DistMat {
-        self.spmm_with(self.panel_t.as_ref().unwrap_or(&self.panel), input, ctx, ops)
+        self.spmm_with(
+            self.panel_t.as_ref().unwrap_or(&self.panel),
+            input,
+            ctx,
+            ops,
+        )
     }
 
     fn spmm_with(
@@ -343,15 +371,7 @@ impl Topology {
         assert_eq!(input.dist, Dist::Col, "topology spmm needs the tile layout");
         assert_eq!(self.n, input.rows, "vertex count mismatch");
         let local = match &self.mask {
-            None => panel_spmm(
-                self.grid,
-                panel,
-                &input.local,
-                self.n,
-                input.cols,
-                ctx,
-                ops,
-            ),
+            None => panel_spmm(self.grid, panel, &input.local, self.n, input.cols, ctx, ops),
             Some(mask) => {
                 // Masked aggregation (§III-F): assemble the column slice
                 // exactly like the unmasked path, then run the masked
@@ -439,7 +459,9 @@ mod tests {
         let mut coo = Coo::new(n, n);
         let mut state = seed | 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for i in 0..n {
@@ -622,7 +644,9 @@ mod tests {
             let panel = a2.row_panel(prows.start, prows.end);
             // My tile of the dense input: rows of my panel, my column slice.
             let col = part_range(f, r_a, me % r_a);
-            let tile = h2.row_block(prows.start, prows.end).col_block(col.start, col.end);
+            let tile = h2
+                .row_block(prows.start, prows.end)
+                .col_block(col.start, col.end);
             let mut ops = OpCounters::default();
             let out_tile = panel_spmm(grid, &panel, &tile, n, f, ctx, &mut ops);
             // Check my output tile against the serial product.

@@ -1,14 +1,13 @@
 //! Execution plans and model-driven plan selection (§IV-B).
 
 use rdm_model::{pareto_configs, DeviceModel, GnnShape, Order, OrderConfig};
-use serde::{Deserialize, Serialize};
 
 /// Re-export: the per-layer, per-pass order (SpMM-first / GEMM-first).
 pub type LayerOrder = Order;
 
 /// A complete execution plan for the RDM trainer: the SpMM/GEMM ordering
 /// plus the adjacency replication factor.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Plan {
     pub config: OrderConfig,
     /// Adjacency replication factor; `r_a == p` means full replication

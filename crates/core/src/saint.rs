@@ -18,9 +18,9 @@
 
 use crate::adam::Adam;
 use crate::gcn::{input_cache, rdm_backward, rdm_forward, serial, GcnWeights};
-use crate::ops::Topology;
 use crate::loss::{accuracy, serial as loss_serial, softmax_xent, LossSpec};
 use crate::ops::OpCounters;
+use crate::ops::Topology;
 use crate::plan::Plan;
 use rdm_comm::{CollectiveKind, RankCtx};
 use rdm_dense::Mat;
@@ -149,14 +149,7 @@ impl SaintRdmTrainer {
             };
             let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
             let back = rdm_backward(
-                ctx,
-                &topo,
-                &mut art,
-                &c.weights,
-                &plan,
-                lgrad,
-                &c.feats,
-                ops,
+                ctx, &topo, &mut art, &c.weights, &plan, lgrad, &c.feats, ops,
             );
             c.adam.step(&mut c.weights.w, &back.weight_grads);
         }
@@ -207,24 +200,24 @@ impl SaintDdpTrainer {
                 // Count the local compute.
                 for l in 1..=c.weights.layers() {
                     ops.spmm_fma += sd.adj_norm.nnz() as f64 * c.feats[l - 1] as f64;
-                    ops.gemm_fma +=
-                        sd.n() as f64 * c.feats[l - 1] as f64 * c.feats[l] as f64;
+                    ops.gemm_fma += sd.n() as f64 * c.feats[l - 1] as f64 * c.feats[l] as f64;
                 }
-                let sub_train: Vec<bool> =
-                    sd.split.iter().map(|&s| s == Split::Train).collect();
-                let (_, lg) =
-                    loss_serial::softmax_xent(h.last().unwrap(), &sd.labels, &sub_train);
+                let sub_train: Vec<bool> = sd.split.iter().map(|&s| s == Split::Train).collect();
+                let (_, lg) = loss_serial::softmax_xent(h.last().unwrap(), &sd.labels, &sub_train);
                 let (grads, _) = serial::backward(&sd.adj_norm, &h, &c.weights, &lg);
                 for l in 1..=c.weights.layers() {
                     ops.spmm_fma += sd.adj_norm.nnz() as f64 * c.feats[l] as f64;
-                    ops.gemm_fma +=
-                        2.0 * sd.n() as f64 * c.feats[l - 1] as f64 * c.feats[l] as f64;
+                    ops.gemm_fma += 2.0 * sd.n() as f64 * c.feats[l - 1] as f64 * c.feats[l] as f64;
                 }
                 grads
             } else {
                 // Degenerate draw: contribute zero gradients but keep the
                 // collective schedule aligned.
-                c.weights.w.iter().map(|w| Mat::zeros(w.rows(), w.cols())).collect()
+                c.weights
+                    .w
+                    .iter()
+                    .map(|w| Mat::zeros(w.rows(), w.cols()))
+                    .collect()
             };
             // Average gradients across ranks (DDP all-reduce).
             let mut avg = Vec::with_capacity(grads.len());
@@ -270,7 +263,10 @@ impl SaintMaskedTrainer {
         seed: u64,
         keep: f64,
     ) -> Self {
-        assert!(keep > 0.0 && keep <= 1.0, "keep probability must be in (0,1]");
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "keep probability must be in (0,1]"
+        );
         // One epoch touches every edge once in expectation.
         let steps = (1.0 / keep).ceil() as usize;
         let dummy = SaintSampler::Node { budget: ds.n() };
@@ -323,14 +319,7 @@ impl SaintMaskedTrainer {
             };
             let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
             let back = rdm_backward(
-                ctx,
-                &topo,
-                &mut art,
-                &c.weights,
-                &plan,
-                lgrad,
-                &c.feats,
-                ops,
+                ctx, &topo, &mut art, &c.weights, &plan, lgrad, &c.feats, ops,
             );
             c.adam.step(&mut c.weights.w, &back.weight_grads);
         }
@@ -443,10 +432,7 @@ mod tests {
         let w_bytes = (16 * 16 + 16 * 4) * 4;
         let expect = steps * w_bytes;
         for st in &out.stats {
-            assert_eq!(
-                st.bytes(rdm_comm::CollectiveKind::AllReduce),
-                expect as u64
-            );
+            assert_eq!(st.bytes(rdm_comm::CollectiveKind::AllReduce), expect as u64);
         }
     }
 
@@ -502,7 +488,9 @@ mod tests {
         let masked = Cluster::new(2).run(move |ctx| {
             let mut t = SaintMaskedTrainer::setup(&ds2, 8, 2, 0.01, 5, 1.0);
             let mut ops = OpCounters::default();
-            (0..3).map(|_| t.epoch(ctx, &mut ops).0).collect::<Vec<f32>>()
+            (0..3)
+                .map(|_| t.epoch(ctx, &mut ops).0)
+                .collect::<Vec<f32>>()
         });
         // Reference: serial full-batch training with identical init.
         let weights = GcnWeights::init(&[16, 8, 4], 5);
@@ -517,8 +505,7 @@ mod tests {
             adam.step(&mut w.w, &grads);
             // The trainer reports the post-epoch evaluation loss.
             let h2 = serial::forward(&ds.adj_norm, &ds.features, &w);
-            let (l2, _) =
-                loss_serial::softmax_xent(h2.last().unwrap(), &ds.labels, &train_mask);
+            let (l2, _) = loss_serial::softmax_xent(h2.last().unwrap(), &ds.labels, &train_mask);
             expect.push(l2);
         }
         for (a, b) in masked.results[0].iter().zip(&expect) {

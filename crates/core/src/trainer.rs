@@ -1,6 +1,7 @@
 //! The public training entry point: pick an algorithm, a cluster size and
 //! an epoch budget, get back a [`TrainReport`] with per-epoch metrics.
 
+use crate::adam::Adam;
 use crate::cagnet::{CagnetTrainer, CagnetVariant};
 use crate::dgcl::DgclTrainer;
 use crate::dist::{DistMat, FormCache};
@@ -10,8 +11,7 @@ use crate::metrics::{EpochMetrics, RankEpoch, TrainReport};
 use crate::ops::{OpCounters, Topology};
 use crate::plan::{best_plan, Plan};
 use crate::saint::{SaintDdpTrainer, SaintMaskedTrainer, SaintRdmTrainer};
-use crate::adam::Adam;
-use rdm_comm::{Cluster, CollectiveKind, RankCtx};
+use rdm_comm::{Cluster, CollectiveKind, FaultPlan, RankCtx};
 use rdm_graph::dataset::{Dataset, Split};
 use rdm_graph::SaintSampler;
 use rdm_model::{DeviceModel, GnnShape};
@@ -56,6 +56,10 @@ pub struct TrainerConfig {
     pub seed: u64,
     /// Device model used for simulated timing.
     pub device: DeviceModel,
+    /// Fault plan for the fabric. Training results are bit-identical with
+    /// or without one (the envelope protocol hides every fault); only the
+    /// retransmission counters in the report change.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl TrainerConfig {
@@ -120,6 +124,7 @@ impl TrainerConfig {
             epochs: 10,
             seed: 42,
             device: DeviceModel::a6000_pcie(),
+            fault_plan: None,
         }
     }
 
@@ -145,6 +150,12 @@ impl TrainerConfig {
 
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Train on a faulty fabric following `plan`.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -364,9 +375,7 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         }
     }
     if ds.adj_norm_t.is_some() && !matches!(cfg.algo, Algo::Rdm { .. }) {
-        return Err(
-            "non-symmetric (mean) aggregation is only supported by the RDM trainer".into(),
-        );
+        return Err("non-symmetric (mean) aggregation is only supported by the RDM trainer".into());
     }
     if let Algo::Rdm { plan: Some(pl) } = &cfg.algo {
         if pl.config.layers() != cfg.layers {
@@ -397,7 +406,11 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         _ => None,
     };
 
-    let out = Cluster::new(cfg.p).run(|ctx| {
+    let cluster = match cfg.fault_plan {
+        Some(plan) => Cluster::with_faults(cfg.p, plan),
+        None => Cluster::new(cfg.p),
+    };
+    let out = cluster.run(|ctx| {
         enum State {
             Rdm(Box<RdmState>),
             Cagnet(Box<CagnetTrainer>),
@@ -446,16 +459,14 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
                 *sampler,
                 ctx.size(),
             ))),
-            Algo::SaintMasked { keep } => State::SaintMasked(Box::new(
-                SaintMaskedTrainer::setup(
-                    ds,
-                    cfg.hidden,
-                    cfg.layers,
-                    cfg.lr,
-                    cfg.seed,
-                    *keep as f64,
-                ),
-            )),
+            Algo::SaintMasked { keep } => State::SaintMasked(Box::new(SaintMaskedTrainer::setup(
+                ds,
+                cfg.hidden,
+                cfg.layers,
+                cfg.lr,
+                cfg.seed,
+                *keep as f64,
+            ))),
         };
         let mut epochs = Vec::with_capacity(cfg.epochs);
         let mut prev_stats = ctx.stats_snapshot();
@@ -487,12 +498,7 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
                 // measurements; its own small all-reduce is excluded from
                 // the epoch metrics (the paper does not model selection
                 // overhead).
-                s.dynamic_post_epoch(
-                    ctx,
-                    &ops,
-                    delta.total_bytes(),
-                    delta.total_messages(),
-                );
+                s.dynamic_post_epoch(ctx, &ops, delta.total_bytes(), delta.total_messages());
             }
             prev_stats = ctx.stats_snapshot();
             epochs.push(RankEpoch {
@@ -610,7 +616,10 @@ mod tests {
         let c8 = train_gcn(&ds, &TrainerConfig::cagnet_1d(8).epochs(1).hidden(32))
             .unwrap()
             .mean_bytes_per_epoch();
-        assert!(c8 > 5.0 * c2, "CAGNET bytes should grow ~(P-1): {c2} -> {c8}");
+        assert!(
+            c8 > 5.0 * c2,
+            "CAGNET bytes should grow ~(P-1): {c2} -> {c8}"
+        );
     }
 
     #[test]
@@ -643,7 +652,11 @@ mod tests {
         // Every epoch ran some pareto candidate.
         for e in &report.epochs {
             let id = e.plan_id.expect("RDM epochs carry a plan id");
-            assert!(pareto.contains(&id), "epoch {} ran non-pareto {id}", e.epoch);
+            assert!(
+                pareto.contains(&id),
+                "epoch {} ran non-pareto {id}",
+                e.epoch
+            );
         }
         // After the trial phase the plan stays fixed.
         let trials = pareto.len() * 2;
@@ -662,8 +675,8 @@ mod tests {
         // Plan choice never changes the math, only the cost — so dynamic
         // selection must follow the same loss trajectory.
         let ds = toy(150, 12);
-        let dynamic = train_gcn(&ds, &TrainerConfig::rdm_dynamic(4, 1).hidden(8).epochs(6))
-            .unwrap();
+        let dynamic =
+            train_gcn(&ds, &TrainerConfig::rdm_dynamic(4, 1).hidden(8).epochs(6)).unwrap();
         let fixed = train_gcn(&ds, &TrainerConfig::rdm_auto(4).hidden(8).epochs(6)).unwrap();
         for (a, b) in dynamic.epochs.iter().zip(&fixed.epochs) {
             assert!((a.loss - b.loss).abs() < 2e-3, "{} vs {}", a.loss, b.loss);
@@ -688,7 +701,9 @@ mod tests {
     #[test]
     fn explicit_plan_is_respected_in_label() {
         let ds = toy(64, 7);
-        let cfg = TrainerConfig::rdm(2, Plan::from_id(10, 2, 2)).epochs(1).hidden(8);
+        let cfg = TrainerConfig::rdm(2, Plan::from_id(10, 2, 2))
+            .epochs(1)
+            .hidden(8);
         let report = train_gcn(&ds, &cfg).unwrap();
         assert_eq!(report.algo, "RDM(id=10)");
     }

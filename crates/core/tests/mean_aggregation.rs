@@ -135,8 +135,11 @@ fn distributed_mean_aggregation_matches_serial_all_configs() {
 #[test]
 fn trainer_supports_mean_aggregation_rdm_only() {
     let ds = mean_dataset(300, 5);
-    let report = train_gcn(&ds, &TrainerConfig::rdm_auto(4).hidden(16).epochs(25).lr(0.02))
-        .unwrap();
+    let report = train_gcn(
+        &ds,
+        &TrainerConfig::rdm_auto(4).hidden(16).epochs(25).lr(0.02),
+    )
+    .unwrap();
     assert!(
         report.final_test_acc() > 0.7,
         "mean aggregation failed to learn: {}",
@@ -171,8 +174,10 @@ fn mean_aggregation_with_replication_factor() {
             num_classes: 4,
         };
         let (_, lgrad) = softmax_xent(&logits, &spec, ctx);
-        rdm_backward(ctx, &topo, &mut art, &weights, &plan, lgrad, &feats, &mut ops)
-            .weight_grads
+        rdm_backward(
+            ctx, &topo, &mut art, &weights, &plan, lgrad, &feats, &mut ops,
+        )
+        .weight_grads
     });
     for grads in &out.results {
         for (got, expect) in grads.iter().zip(&serial_grads) {

@@ -15,13 +15,13 @@ use rdm_model::OrderConfig;
 fn grid_strategy() -> impl Strategy<Value = (usize, usize)> {
     prop_oneof![
         Just((1usize, 1usize)),
-        Just((2, 1)),
-        Just((2, 2)),
-        Just((3, 3)),
-        Just((4, 2)),
-        Just((4, 4)),
-        Just((6, 2)),
-        Just((6, 3)),
+        Just((2usize, 1usize)),
+        Just((2usize, 2usize)),
+        Just((3usize, 3usize)),
+        Just((4usize, 2usize)),
+        Just((4usize, 4usize)),
+        Just((6usize, 2usize)),
+        Just((6usize, 3usize)),
     ]
 }
 

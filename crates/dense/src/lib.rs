@@ -23,7 +23,7 @@ pub mod split;
 pub use gemm::{gemm, gemm_acc, gemm_nt, gemm_tn, gemm_tn_acc};
 pub use mat::{part_range, Mat};
 pub use ops::{
-    add_assign, allclose, hadamard, log_softmax_rows, max_abs_diff, relu, relu_backward,
-    scale, softmax_rows,
+    add_assign, allclose, hadamard, log_softmax_rows, max_abs_diff, relu, relu_backward, scale,
+    softmax_rows,
 };
 pub use split::{hstack, merge_col_chunks, merge_row_chunks, split_cols, split_rows, vstack};

@@ -148,7 +148,10 @@ impl Mat {
 
     /// Copy of rows `r0..r1` as a new matrix.
     pub fn row_block(&self, r0: usize, r1: usize) -> Mat {
-        assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} out of bounds");
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds"
+        );
         Mat {
             rows: r1 - r0,
             cols: self.cols,
@@ -158,7 +161,10 @@ impl Mat {
 
     /// Copy of columns `c0..c1` as a new matrix.
     pub fn col_block(&self, c0: usize, c1: usize) -> Mat {
-        assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} out of bounds");
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "col range {c0}..{c1} out of bounds"
+        );
         let w = c1 - c0;
         let mut data = Vec::with_capacity(self.rows * w);
         for i in 0..self.rows {
@@ -175,8 +181,8 @@ impl Mat {
     pub fn set_block(&mut self, r0: usize, c0: usize, block: &Mat) {
         assert!(r0 + block.rows <= self.rows && c0 + block.cols <= self.cols);
         for i in 0..block.rows {
-            let dst = &mut self.data
-                [(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + block.cols];
+            let dst =
+                &mut self.data[(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + block.cols];
             dst.copy_from_slice(block.row(i));
         }
     }

@@ -31,14 +31,11 @@ pub fn relu_backward(grad: &Mat, z: &Mat) -> Mat {
     assert_eq!(grad.shape(), z.shape(), "relu_backward shape mismatch");
     let mut out = grad.clone();
     let zd = z.as_slice();
-    out.as_mut_slice()
-        .iter_mut()
-        .zip(zd)
-        .for_each(|(g, &zv)| {
-            if zv <= 0.0 {
-                *g = 0.0;
-            }
-        });
+    out.as_mut_slice().iter_mut().zip(zd).for_each(|(g, &zv)| {
+        if zv <= 0.0 {
+            *g = 0.0;
+        }
+    });
     out
 }
 

@@ -7,8 +7,7 @@ use rdm_dense::{
 };
 
 fn mat_strategy(max_dim: usize) -> impl Strategy<Value = Mat> {
-    (1..max_dim, 1..max_dim, 0u64..1000)
-        .prop_map(|(r, c, seed)| Mat::random(r, c, 1.0, seed))
+    (1..max_dim, 1..max_dim, 0u64..1000).prop_map(|(r, c, seed)| Mat::random(r, c, 1.0, seed))
 }
 
 proptest! {

@@ -6,10 +6,9 @@ use rand::{Rng, SeedableRng};
 use rdm_dense::Mat;
 use rdm_model::GnnShape;
 use rdm_sparse::{gcn_normalize, Coo, Csr};
-use serde::{Deserialize, Serialize};
 
 /// Shape parameters of one evaluation dataset — the columns of Table V.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetSpec {
     pub name: String,
     pub vertices: usize,
@@ -33,7 +32,13 @@ pub struct DatasetSpec {
 
 impl DatasetSpec {
     /// A free-form synthetic spec.
-    pub fn synthetic(name: &str, vertices: usize, edges: usize, feature_size: usize, labels: usize) -> Self {
+    pub fn synthetic(
+        name: &str,
+        vertices: usize,
+        edges: usize,
+        feature_size: usize,
+        labels: usize,
+    ) -> Self {
         DatasetSpec {
             name: name.to_string(),
             vertices,
@@ -137,7 +142,7 @@ impl DatasetSpec {
 }
 
 /// Which split a vertex belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Split {
     Train,
     Val,
@@ -211,7 +216,9 @@ impl Dataset {
         let mut labels = Vec::with_capacity(keep.len());
         let mut split = Vec::with_capacity(keep.len());
         for (new, &old) in keep.iter().enumerate() {
-            features.row_mut(new).copy_from_slice(self.features.row(old as usize));
+            features
+                .row_mut(new)
+                .copy_from_slice(self.features.row(old as usize));
             labels.push(self.labels[old as usize]);
             split.push(self.split[old as usize]);
         }
@@ -345,7 +352,12 @@ mod tests {
         assert_eq!(reddit.edges, 114_848_857);
         assert_eq!(reddit.feature_size, 602);
         assert_eq!(reddit.labels, 41);
-        assert!(!ds.iter().find(|d| d.name == "Com-Orkut").unwrap().has_labels);
+        assert!(
+            !ds.iter()
+                .find(|d| d.name == "Com-Orkut")
+                .unwrap()
+                .has_labels
+        );
     }
 
     #[test]
@@ -450,7 +462,10 @@ mod tests {
             hits as f64 / d.n() as f64
         };
         assert!(hit_rate(&strong) > 0.8);
-        assert!(hit_rate(&weak) < 0.4, "weak signal should not be identifiable");
+        assert!(
+            hit_rate(&weak) < 0.4,
+            "weak signal should not be identifiable"
+        );
         // Structure is unchanged: same graph either way.
         assert_eq!(strong.adj, weak.adj);
     }

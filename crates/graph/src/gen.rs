@@ -62,13 +62,7 @@ pub fn erdos_renyi(n: usize, edges: usize, seed: u64) -> Vec<(u32, u32)> {
 /// probability `p_intra`, otherwise uniform. Vertex `v`'s community is
 /// `v % communities`, so callers can recover the planted labels without
 /// extra state.
-pub fn sbm(
-    n: usize,
-    edges: usize,
-    communities: usize,
-    p_intra: f64,
-    seed: u64,
-) -> Vec<(u32, u32)> {
+pub fn sbm(n: usize, edges: usize, communities: usize, p_intra: f64, seed: u64) -> Vec<(u32, u32)> {
     assert!(n >= 2 && communities >= 1 && communities <= n);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(edges);
@@ -114,7 +108,9 @@ mod tests {
     fn rmat_produces_requested_edges_in_range() {
         let edges = rmat(100, 500, 1);
         assert_eq!(edges.len(), 500);
-        assert!(edges.iter().all(|&(u, v)| (u as usize) < 100 && (v as usize) < 100 && u != v));
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < 100 && (v as usize) < 100 && u != v));
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub fn random_partition(n: usize, p: usize, seed: u64) -> Vec<u32> {
 /// perfectly balanced.
 pub fn greedy_bfs_partition(adj: &Csr, p: usize, seed: u64) -> Vec<u32> {
     let n = adj.rows();
-    assert_eq!(adj.rows(), adj.cols(), "partitioner needs a square adjacency");
+    assert_eq!(
+        adj.rows(),
+        adj.cols(),
+        "partitioner needs a square adjacency"
+    );
     assert!(p >= 1);
     let mut owner = vec![u32::MAX; n];
     let cap = rdm_dense::part_range(n, p, 0).len(); // largest part size

@@ -9,7 +9,6 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rdm_sparse::Csr;
-use serde::{Deserialize, Serialize};
 
 /// A sampled subgraph: the selected vertices (sorted, deduplicated,
 /// original ids).
@@ -19,7 +18,7 @@ pub struct Subgraph {
 }
 
 /// GraphSAINT sampling strategy.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SaintSampler {
     /// Uniformly sample `budget` distinct vertices.
     Node { budget: usize },
@@ -52,13 +51,15 @@ impl SaintSampler {
                 let nnz = adj.nnz();
                 if nnz == 0 {
                     // Degenerate graph: fall back to node sampling.
-                    return SaintSampler::Node { budget: budget.min(n) }.sample(adj, seed);
+                    return SaintSampler::Node {
+                        budget: budget.min(n),
+                    }
+                    .sample(adj, seed);
                 }
                 let indptr = adj.indptr();
                 // Row lookup by nonzero position (binary search on indptr).
-                let row_of = |pos: usize| -> u32 {
-                    indptr.partition_point(|&x| x <= pos) as u32 - 1
-                };
+                let row_of =
+                    |pos: usize| -> u32 { indptr.partition_point(|&x| x <= pos) as u32 - 1 };
                 let max_w = 2.0; // 1/deg ≤ 1 each
                 let mut accepted = 0;
                 let mut attempts = 0;

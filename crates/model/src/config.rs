@@ -1,9 +1,7 @@
 //! SpMM/GEMM ordering configurations and the paper's ID encoding.
 
-use serde::{Deserialize, Serialize};
-
 /// Which operation runs first inside one layer of one pass (§III-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Order {
     /// SpMM first (`S` in Table IV): aggregate, then apply the weight.
     SpmmFirst,
@@ -40,7 +38,7 @@ impl Order {
 /// forward pass (index 0 = layer 1) and one per layer for the backward pass
 /// (index 0 = layer 1; the backward pass *executes* layers in descending
 /// order).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct OrderConfig {
     pub forward: Vec<Order>,
     pub backward: Vec<Order>,
@@ -86,7 +84,10 @@ impl OrderConfig {
     /// # Panics
     /// If `id >= 4^layers`.
     pub fn from_id(id: usize, layers: usize) -> Self {
-        assert!(id < 1 << (2 * layers), "id {id} out of range for {layers} layers");
+        assert!(
+            id < 1 << (2 * layers),
+            "id {id} out of range for {layers} layers"
+        );
         let mut forward = Vec::with_capacity(layers);
         let mut backward = vec![Order::SpmmFirst; layers];
         for i in 0..layers {
@@ -114,19 +115,13 @@ impl OrderConfig {
     /// `AᵀH^{l-1}` (SpMM-first) and the backward pass is GEMM-first, which
     /// otherwise would need an extra SpMM for the weight gradient (§III-C).
     pub fn memoize_forward_spmm(&self, layer: usize) -> bool {
-        self.forward[layer - 1] == Order::SpmmFirst
-            && self.backward[layer - 1] == Order::GemmFirst
+        self.forward[layer - 1] == Order::SpmmFirst && self.backward[layer - 1] == Order::GemmFirst
     }
 
     /// Paper-style rendering, e.g. `F:DS B:DS` for ID 10.
     pub fn display(&self) -> String {
         let f: String = self.forward.iter().map(|o| o.letter()).collect();
-        let b: String = self
-            .backward
-            .iter()
-            .rev()
-            .map(|o| o.letter())
-            .collect();
+        let b: String = self.backward.iter().rev().map(|o| o.letter()).collect();
         format!("F:{f} B:{b}")
     }
 }
@@ -204,5 +199,4 @@ mod tests {
             assert_eq!(id, 8 * b2 + 4 * b1 + 2 * f1 + f2);
         }
     }
-
 }

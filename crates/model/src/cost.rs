@@ -1,15 +1,12 @@
 //! Whole-network cost evaluation and the Pareto filter (§IV-B, Table VI).
 
 use crate::config::{Order, OrderConfig};
-use crate::layer::{
-    backward_layer_cost, forward_layer_cost, redistribution_elems, LayerDims,
-};
-use serde::{Deserialize, Serialize};
+use crate::layer::{backward_layer_cost, forward_layer_cost, redistribution_elems, LayerDims};
 
 /// The shape of a GCN training problem: vertex count, edge count (nnz of
 /// the normalized adjacency), and the feature width of every boundary —
 /// `feats[0] = f_in`, `feats[L] = f_out`, `feats.len() = L+1`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GnnShape {
     pub n: usize,
     pub nnz: usize,
@@ -18,7 +15,14 @@ pub struct GnnShape {
 
 impl GnnShape {
     /// A GCN with `layers` layers and a uniform hidden width.
-    pub fn gcn(n: usize, nnz: usize, f_in: usize, hidden: usize, f_out: usize, layers: usize) -> Self {
+    pub fn gcn(
+        n: usize,
+        nnz: usize,
+        f_in: usize,
+        hidden: usize,
+        f_out: usize,
+        layers: usize,
+    ) -> Self {
         assert!(layers >= 1);
         let mut feats = Vec::with_capacity(layers + 1);
         feats.push(f_in);
@@ -44,7 +48,7 @@ impl GnnShape {
 }
 
 /// Total cost of one training epoch (forward + backward) for a configuration.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Cost {
     /// Communication volume in elements (global, summed over ranks).
     pub comm_elems: f64,
@@ -97,7 +101,14 @@ pub fn config_cost(shape: &GnnShape, cfg: &OrderConfig, p: usize, r_a: usize) ->
 
     // Forward pass.
     for layer in 1..=l {
-        let c = forward_layer_cost(shape.layer_dims(layer), cfg.forward[layer - 1], n, nnz, p, r_a);
+        let c = forward_layer_cost(
+            shape.layer_dims(layer),
+            cfg.forward[layer - 1],
+            n,
+            nnz,
+            p,
+            r_a,
+        );
         total.comm_elems += c.comm_elems;
         total.spmm_ops += c.spmm_ops;
         total.gemm_ops += c.gemm_ops;
@@ -166,10 +177,7 @@ pub fn pareto_configs(shape: &GnnShape, p: usize, r_a: usize) -> Vec<(OrderConfi
                 continue 'outer;
             }
             // Identical cost vector: keep only the first (lowest ID).
-            if j < i
-                && other.comm_elems == cost.comm_elems
-                && other.spmm_ops == cost.spmm_ops
-            {
+            if j < i && other.comm_elems == cost.comm_elems && other.spmm_ops == cost.spmm_ops {
                 continue 'outer;
             }
         }

@@ -17,10 +17,9 @@
 //! specific board.
 
 use crate::cost::Cost;
-use serde::{Deserialize, Serialize};
 
 /// Effective execution rates of one device and its interconnect.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DeviceModel {
     /// Sustained dense FMA/s.
     pub gemm_fma_per_sec: f64,
@@ -102,7 +101,7 @@ impl DeviceModel {
 
 /// What one rank did during an epoch (filled from `rdm-comm` stats and the
 /// executors' op counters).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct MeasuredRank {
     pub spmm_fma: f64,
     pub gemm_fma: f64,
@@ -111,7 +110,7 @@ pub struct MeasuredRank {
 }
 
 /// A simulated epoch-time breakdown.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Predicted {
     pub compute_s: f64,
     pub comm_s: f64,

@@ -5,10 +5,9 @@
 //! (`nnz·f` for SpMM, `N·f_{l-1}·f_l` for GEMM).
 
 use crate::config::Order;
-use serde::{Deserialize, Serialize};
 
 /// Feature widths around one layer: input width `f_{l-1}`, output `f_l`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LayerDims {
     pub f_in: usize,
     pub f_out: usize,
@@ -43,7 +42,10 @@ pub fn redistribution_elems(n: usize, f: usize, p: usize) -> f64 {
 /// communication-free-style matrix product on a dense matrix of width `f`:
 /// the broadcast inside each panel group, `(P/R_A - 1)·N·f`.
 pub fn panel_broadcast_elems(n: usize, f: usize, p: usize, r_a: usize) -> f64 {
-    assert!(r_a >= 1 && r_a <= p && p.is_multiple_of(r_a), "R_A must divide P");
+    assert!(
+        r_a >= 1 && r_a <= p && p.is_multiple_of(r_a),
+        "R_A must divide P"
+    );
     (p / r_a - 1) as f64 * n as f64 * f as f64
 }
 

@@ -5,10 +5,8 @@
 //! adjacency plus the same activation share. Weights are replicated on
 //! every GPU in both schemes but are negligible (`f×f` blocks).
 
-use serde::{Deserialize, Serialize};
-
 /// Inputs to the space model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MemoryParams {
     /// Vertices.
     pub n: usize,
@@ -129,8 +127,8 @@ mod tests {
         // Tiny memory: no replication.
         assert_eq!(max_replication(mp, 1 << 20), 1);
         // Intermediate: must divide 8 and fit.
-        let budget = activation_bytes(mp.n, mp.feat_sum) / mp.p
-            + 3 * adjacency_bytes(mp.n, mp.nnz) / mp.p;
+        let budget =
+            activation_bytes(mp.n, mp.feat_sum) / mp.p + 3 * adjacency_bytes(mp.n, mp.nnz) / mp.p;
         let r = max_replication(mp, budget);
         assert!(r == 2, "3 copies fit but must round to divisor 2, got {r}");
         assert!(rdm_bytes_per_gpu(mp, r) <= budget);

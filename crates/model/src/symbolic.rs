@@ -7,12 +7,11 @@
 //! compare against the paper's printed rows.
 
 use crate::config::{Order, OrderConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A symbolic term of the 2-layer cost expressions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Term {
     /// `f_in`
     FIn,
@@ -50,7 +49,7 @@ impl Term {
 }
 
 /// A linear combination of [`Term`]s with non-negative integer coefficients.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CostExpr {
     coeffs: BTreeMap<Term, u32>,
 }
@@ -109,7 +108,7 @@ impl fmt::Display for CostExpr {
 }
 
 /// One row of Table IV.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table4Row {
     pub id: usize,
     /// Forward orders as letters, layer 1 then layer 2 (e.g. `"DS"`).
@@ -222,11 +221,23 @@ mod tests {
 
     fn paper_rows() -> Vec<PaperRow> {
         vec![
-            (0, vec![(FIn, 1), (FH, 4), (FOut, 2)], vec![(FIn, 1), (FH, 2), (FOut, 1)]),
-            (1, vec![(FIn, 1), (FH, 2), (FOut, 4)], vec![(FIn, 1), (FH, 1), (FOut, 2)]),
+            (
+                0,
+                vec![(FIn, 1), (FH, 4), (FOut, 2)],
+                vec![(FIn, 1), (FH, 2), (FOut, 1)],
+            ),
+            (
+                1,
+                vec![(FIn, 1), (FH, 2), (FOut, 4)],
+                vec![(FIn, 1), (FH, 1), (FOut, 2)],
+            ),
             (2, vec![(FH, 4), (FOut, 2)], vec![(FH, 3), (FOut, 1)]),
             (3, vec![(FH, 4), (FOut, 4)], vec![(FH, 2), (FOut, 2)]),
-            (4, vec![(FIn, 2), (FH, 2), (FOut, 2)], vec![(FIn, 2), (FH, 1), (FOut, 1)]),
+            (
+                4,
+                vec![(FIn, 2), (FH, 2), (FOut, 2)],
+                vec![(FIn, 2), (FH, 1), (FOut, 1)],
+            ),
             (5, vec![(FIn, 2), (FOut, 4)], vec![(FIn, 2), (FOut, 2)]),
             (
                 6,

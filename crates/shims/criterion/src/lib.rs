@@ -1,0 +1,296 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal bench harness with criterion's call-site API:
+//! `criterion_group!` / `criterion_main!`, benchmark groups, throughput
+//! annotations, [`BenchmarkId`], and `Bencher::iter`.
+//!
+//! Semantics: `--test` (what `cargo bench -- --test` and the CI
+//! `bench-smoke` job pass) runs every benchmark closure exactly once and
+//! prints `ok` — catching bench bit-rot without timing noise. Without
+//! `--test`, each benchmark is warmed up and run for `sample_size` timed
+//! iterations, reporting mean iteration time and derived throughput. No
+//! statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work performed per iteration, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark's display identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Harness entry point; holds the parsed CLI mode.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Parse the arguments cargo-bench passes through (`--bench`,
+    /// `--test`, name filters). Unknown flags are ignored.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filters }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.id, None, 10, f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.harness, &full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    test_mode: bool,
+    iterations: usize,
+    total: Duration,
+    measured_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std_black_box(routine());
+            return;
+        }
+        // Warmup, then timed samples.
+        for _ in 0..2 {
+            std_black_box(routine());
+        }
+        let t0 = Instant::now();
+        for _ in 0..self.iterations {
+            std_black_box(routine());
+        }
+        self.total = t0.elapsed();
+        self.measured_iters = self.iterations as u64;
+    }
+}
+
+fn run_one<F>(
+    harness: &Criterion,
+    full_id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !harness.matches(full_id) {
+        return;
+    }
+    if harness.test_mode {
+        print!("Testing {full_id} ... ");
+        let mut b = Bencher {
+            test_mode: true,
+            iterations: 1,
+            total: Duration::ZERO,
+            measured_iters: 0,
+        };
+        f(&mut b);
+        println!("ok");
+        return;
+    }
+    let mut b = Bencher {
+        test_mode: false,
+        iterations: sample_size,
+        total: Duration::ZERO,
+        measured_iters: 0,
+    };
+    f(&mut b);
+    if b.measured_iters == 0 {
+        println!("{full_id:<50} (no iterations run)");
+        return;
+    }
+    let mean = b.total.as_secs_f64() / b.measured_iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean > 0.0 => {
+            format!("  {:>10.1} MiB/s", bytes as f64 / mean / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>10.1} Kelem/s", n as f64 / mean / 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("{full_id:<50} {:>12.3} ms/iter{rate}", mean * 1e3);
+}
+
+/// Bundle benchmark functions into a group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn runs_in_test_mode_and_bench_mode() {
+        for test_mode in [true, false] {
+            let mut c = Criterion {
+                test_mode,
+                filters: vec![],
+            };
+            benches(&mut c);
+        }
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut hit = false;
+        let c = Criterion {
+            test_mode: true,
+            filters: vec!["plain".into()],
+        };
+        if c.matches("g/plain") {
+            hit = true;
+        }
+        assert!(hit);
+        assert!(!c.matches("g/other"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for `rayon`, implemented on `std::thread::scope`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice-parallelism surface the kernels use:
+//! `par_chunks_mut(..).for_each`, `par_chunks_mut(..).enumerate().for_each`,
+//! `par_iter_mut().for_each`, and [`current_num_threads`].
+//!
+//! Unlike rayon's work-stealing pool, chunks are distributed round-robin
+//! over scoped OS threads. For the row-panel kernels in `rdm-dense` and
+//! `rdm-sparse` (few large uniform chunks) static scheduling loses little,
+//! and the GEMM/SpMM panel sizes were chosen to balance anyway.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Below this many items a parallel loop runs inline: thread spawn costs
+/// more than it saves.
+const SPAWN_MIN: usize = 1 << 12;
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Entry points on mutable slices, mirroring rayon's `ParallelSliceMut` /
+/// `IntoParallelRefMutIterator`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+
+    /// Parallel iterator over mutable elements.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+pub struct EnumeratedChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+/// Run `f` over `chunks`, round-robin across up to [`current_num_threads`]
+/// scoped threads. `f` sees `(chunk_index, chunk)`.
+fn drive<T: Send, F>(slice: &mut [T], chunk_size: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if slice.is_empty() {
+        return;
+    }
+    let n_chunks = slice.len().div_ceil(chunk_size);
+    let workers = current_num_threads().min(n_chunks);
+    if workers <= 1 || slice.len() < SPAWN_MIN {
+        for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Deal chunks round-robin so skewed tails still spread across workers.
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+        per_worker[i % workers].push((i, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for work in per_worker {
+            scope.spawn(move || {
+                for (i, chunk) in work {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        drive(self.slice, self.chunk_size, |_, chunk| f(chunk));
+    }
+}
+
+impl<T: Send> EnumeratedChunksMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        drive(self.slice, self.chunk_size, |i, chunk| f((i, chunk)));
+    }
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let per = len.div_ceil(current_num_threads()).max(1);
+        drive(self.slice, per, |_, chunk| {
+            for v in chunk {
+                f(v);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let n = 100_000;
+        let mut v = vec![0u64; n];
+        v.par_chunks_mut(117).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 117 + j) as u64;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn unenumerated_chunks_and_elements() {
+        let mut v = vec![1.0f32; 50_000];
+        v.par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk {
+                *x += 1.0;
+            }
+        });
+        v.par_iter_mut().for_each(|x| *x *= 2.0);
+        assert!(v.iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn small_slices_run_inline() {
+        let mut v = vec![0u8; 10];
+        v.par_iter_mut().for_each(|x| *x = 1);
+        assert_eq!(v, vec![1u8; 10]);
+    }
+}

@@ -52,8 +52,11 @@ impl Coo {
         let mut out_vals = Vec::with_capacity(vals.len());
         for r in 0..self.rows {
             let (s, e) = (counts[r], counts[r + 1]);
-            let mut row: Vec<(u32, f32)> =
-                cols[s..e].iter().copied().zip(vals[s..e].iter().copied()).collect();
+            let mut row: Vec<(u32, f32)> = cols[s..e]
+                .iter()
+                .copied()
+                .zip(vals[s..e].iter().copied())
+                .collect();
             row.sort_unstable_by_key(|&(c, _)| c);
             let mut last: Option<usize> = None;
             for (c, v) in row {
@@ -232,9 +235,7 @@ impl Csr {
 
     /// Sum of values in each row (weighted out-degree).
     pub fn row_sums(&self) -> Vec<f32> {
-        (0..self.rows)
-            .map(|r| self.row(r).1.iter().sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).1.iter().sum()).collect()
     }
 
     /// Payload bytes: values + indices + row pointers. Used by the space

@@ -32,7 +32,11 @@ fn main() {
     );
     for (cfg, cost) in all_config_costs(&shape, p, p) {
         let pred = device.predict(&cost, p, 40.0);
-        let mark = if pareto.contains(&cfg.id()) { "  *" } else { "" };
+        let mark = if pareto.contains(&cfg.id()) {
+            "  *"
+        } else {
+            ""
+        };
         println!(
             "{:<4} {:<10} {:>14.3e} {:>14.3e} {:>12.3}{}",
             cfg.id(),

@@ -33,8 +33,8 @@ fn main() {
     ];
     let mut rdm_time = 0.0;
     for (label, cfg) in configs {
-        let report = train_gcn(&ds, &cfg.hidden(128).epochs(epochs).lr(0.01))
-            .expect("training failed");
+        let report =
+            train_gcn(&ds, &cfg.hidden(128).epochs(epochs).lr(0.01)).expect("training failed");
         let last = report.epochs.last().unwrap();
         let sim_ms = report.mean_sim_epoch_s() * 1e3;
         if rdm_time == 0.0 {

@@ -43,8 +43,11 @@ fn main() {
 
     // Same training with the CAGNET baseline: identical math, very
     // different traffic.
-    let cagnet = train_gcn(&ds, &TrainerConfig::cagnet(p).hidden(64).epochs(20).lr(0.02))
-        .expect("training failed");
+    let cagnet = train_gcn(
+        &ds,
+        &TrainerConfig::cagnet(p).hidden(64).epochs(20).lr(0.02),
+    )
+    .expect("training failed");
     let clast = cagnet.epochs.last().unwrap();
     println!(
         "CAGNET  : final loss {:.4}, test accuracy {:.1}%, {:.2} MB moved/epoch",
@@ -58,5 +61,8 @@ fn main() {
         cagnet.mean_bytes_per_epoch() / report.mean_bytes_per_epoch(),
         cagnet.mean_sim_epoch_s() / report.mean_sim_epoch_s()
     );
-    assert!((last.loss - clast.loss).abs() < 1e-2, "both systems compute the same model");
+    assert!(
+        (last.loss - clast.loss).abs() < 1e-2,
+        "both systems compute the same model"
+    );
 }

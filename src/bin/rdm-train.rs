@@ -11,6 +11,7 @@
 //! keep the fastest — §IV-B), `cagnet1d`, `cagnet15d:<c>`, `dgcl`,
 //! `saint-rdm`, `saint-ddp`, `masked:<keep>`.
 
+use gnn_rdm::comm::FaultPlan;
 use gnn_rdm::core::{train_gcn, Algo, Plan, TrainerConfig};
 use gnn_rdm::graph::dataset::load_edge_list;
 use gnn_rdm::graph::{paper_datasets, Dataset, DatasetSpec, SaintSampler};
@@ -31,6 +32,8 @@ struct Args {
     epochs: usize,
     seed: u64,
     ra: Option<usize>,
+    chaos: Option<u64>,
+    drop_rate: f64,
     quiet: bool,
 }
 
@@ -51,6 +54,8 @@ impl Default for Args {
             epochs: 10,
             seed: 42,
             ra: None,
+            chaos: None,
+            drop_rate: 0.05,
             quiet: false,
         }
     }
@@ -84,15 +89,19 @@ MODEL / TRAINING:
   --epochs <n>          epochs [10]
   --seed <s>            RNG seed [42]
   --quiet               summary only
+
+CHAOS:
+  --chaos <seed>        train on a faulty fabric (seeded drops, reordering
+                        and stragglers); losses are bit-identical to the
+                        fault-free run, retransmissions are reported
+  --drop-rate <r>       per-attempt drop probability with --chaos [0.05]
 ";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--dataset" => args.dataset = Some(value("--dataset")?),
             "--edge-list" => args.edge_list = Some(value("--edge-list")?),
@@ -106,8 +115,12 @@ fn parse_args() -> Result<Args, String> {
                     e.parse().map_err(|e| format!("bad E: {e}"))?,
                 ));
             }
-            "--features" => args.features = value("--features")?.parse().map_err(|e| format!("{e}"))?,
-            "--classes" => args.classes = value("--classes")?.parse().map_err(|e| format!("{e}"))?,
+            "--features" => {
+                args.features = value("--features")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--classes" => {
+                args.classes = value("--classes")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--scale" => args.scale = Some(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
             "--algo" => args.algo = value("--algo")?,
             "--ranks" => args.ranks = value("--ranks")?.parse().map_err(|e| format!("{e}"))?,
@@ -117,6 +130,16 @@ fn parse_args() -> Result<Args, String> {
             "--lr" => args.lr = value("--lr")?.parse().map_err(|e| format!("{e}"))?,
             "--epochs" => args.epochs = value("--epochs")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--chaos" => args.chaos = Some(value("--chaos")?.parse().map_err(|e| format!("{e}"))?),
+            "--drop-rate" => {
+                args.drop_rate = value("--drop-rate")?.parse().map_err(|e| format!("{e}"))?;
+                if !(0.0..1.0).contains(&args.drop_rate) {
+                    return Err(format!(
+                        "--drop-rate must be in [0, 1), got {}",
+                        args.drop_rate
+                    ));
+                }
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -245,7 +268,7 @@ fn main() -> ExitCode {
         let shape = ds.shape_layers(args.hidden, args.layers);
         *plan = Some(gnn_rdm::core::best_plan(&shape, args.ranks).with_ra(r));
     }
-    let cfg = TrainerConfig {
+    let mut cfg = TrainerConfig {
         algo,
         ..TrainerConfig::rdm_auto(args.ranks)
     }
@@ -254,6 +277,14 @@ fn main() -> ExitCode {
     .lr(args.lr)
     .epochs(args.epochs)
     .seed(args.seed);
+    if let Some(chaos_seed) = args.chaos {
+        cfg = cfg.faults(
+            FaultPlan::new(chaos_seed)
+                .drop_rate(args.drop_rate)
+                .delay(0.2, 3)
+                .straggler(0.02, 20_000),
+        );
+    }
 
     println!(
         "dataset {}: {} vertices, {} edges (nnz {}), {} features, {} classes",
@@ -296,5 +327,13 @@ fn main() -> ExitCode {
         report.mean_bytes_per_epoch() / 1e6,
         report.sim_epochs_per_sec(),
     );
+    if args.chaos.is_some() {
+        println!(
+            "chaos: {} retransmits re-sent {:.2} MB (excluded from volume above); \
+             losses bit-identical to the fault-free run",
+            report.total_retries(),
+            report.total_retransmit_bytes() as f64 / 1e6,
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -40,10 +40,8 @@ pub use rdm_sparse as sparse;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use rdm_comm::{Cluster, CollectiveKind, CommStats};
-    pub use rdm_core::{
-        best_plan, train_gcn, Algo, DistMat, LayerOrder, Plan, TrainerConfig,
-    };
+    pub use rdm_comm::{Cluster, CollectiveKind, CommStats, FaultPlan};
+    pub use rdm_core::{best_plan, train_gcn, Algo, DistMat, LayerOrder, Plan, TrainerConfig};
     pub use rdm_dense::Mat;
     pub use rdm_graph::{Dataset, DatasetSpec, SaintSampler};
     pub use rdm_model::{DeviceModel, GnnShape, LayerDims, OrderConfig};

@@ -30,10 +30,7 @@ fn all_systems_share_the_training_trajectory() {
     ] {
         let other = losses(&ds, cfg.hidden(8).epochs(5));
         for (i, (a, b)) in reference.iter().zip(&other).enumerate() {
-            assert!(
-                (a - b).abs() < 2e-3,
-                "epoch {i}: loss {a} vs {b} diverged"
-            );
+            assert!((a - b).abs() < 2e-3, "epoch {i}: loss {a} vs {b} diverged");
         }
     }
 }
@@ -59,12 +56,16 @@ fn trajectory_independent_of_ordering_plan() {
     let ds = dataset();
     let reference = losses(
         &ds,
-        TrainerConfig::rdm(4, Plan::from_id(0, 2, 4)).hidden(8).epochs(4),
+        TrainerConfig::rdm(4, Plan::from_id(0, 2, 4))
+            .hidden(8)
+            .epochs(4),
     );
     for id in [3usize, 5, 6, 9, 10, 12, 15] {
         let other = losses(
             &ds,
-            TrainerConfig::rdm(4, Plan::from_id(id, 2, 4)).hidden(8).epochs(4),
+            TrainerConfig::rdm(4, Plan::from_id(id, 2, 4))
+                .hidden(8)
+                .epochs(4),
         );
         for (i, (a, b)) in reference.iter().zip(&other).enumerate() {
             assert!(
@@ -88,8 +89,14 @@ fn determinism_same_seed_same_report() {
 #[test]
 fn three_layer_systems_agree_too() {
     let ds = dataset();
-    let rdm = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).layers(3).epochs(3));
-    let cag = losses(&ds, TrainerConfig::cagnet_1d(4).hidden(8).layers(3).epochs(3));
+    let rdm = losses(
+        &ds,
+        TrainerConfig::rdm_auto(4).hidden(8).layers(3).epochs(3),
+    );
+    let cag = losses(
+        &ds,
+        TrainerConfig::cagnet_1d(4).hidden(8).layers(3).epochs(3),
+    );
     for (a, b) in rdm.iter().zip(&cag) {
         assert!((a - b).abs() < 2e-3, "3-layer loss {a} vs {b}");
     }
@@ -98,13 +105,13 @@ fn three_layer_systems_agree_too() {
 #[test]
 fn accuracy_improves_with_training() {
     let ds = DatasetSpec::synthetic("learn", 400, 4000, 16, 4).instantiate(5);
-    let report = train_gcn(&ds, &TrainerConfig::rdm_auto(4).hidden(16).epochs(25).lr(0.02))
-        .unwrap();
+    let report = train_gcn(
+        &ds,
+        &TrainerConfig::rdm_auto(4).hidden(16).epochs(25).lr(0.02),
+    )
+    .unwrap();
     let first = report.epochs[0].test_acc;
     let last = report.final_test_acc();
-    assert!(
-        last > first + 0.3,
-        "no learning: {first} -> {last}"
-    );
+    assert!(last > first + 0.3, "no learning: {first} -> {last}");
     assert!(last > 0.8, "final accuracy too low: {last}");
 }

@@ -15,15 +15,15 @@ fn dataset(n: usize, deg: usize) -> gnn_rdm::graph::Dataset {
 fn scalability_of_communication_volume() {
     let ds = dataset(600, 10);
     let vol = |cfg: TrainerConfig| {
-        train_gcn(&ds, &cfg.hidden(32).epochs(1))
-            .unwrap()
-            .epochs[0]
-            .total_bytes as f64
+        train_gcn(&ds, &cfg.hidden(32).epochs(1)).unwrap().epochs[0].total_bytes as f64
     };
     let rdm_growth = vol(TrainerConfig::rdm_auto(8)) / vol(TrainerConfig::rdm_auto(2));
     let cag_growth = vol(TrainerConfig::cagnet_1d(8)) / vol(TrainerConfig::cagnet_1d(2));
     let dgcl_growth = vol(TrainerConfig::dgcl(8)) / vol(TrainerConfig::dgcl(2));
-    assert!(rdm_growth < 2.2, "RDM volume grew {rdm_growth}x from P=2 to 8");
+    assert!(
+        rdm_growth < 2.2,
+        "RDM volume grew {rdm_growth}x from P=2 to 8"
+    );
     assert!(cag_growth > 5.0, "CAGNET volume grew only {cag_growth}x");
     assert!(dgcl_growth > 1.2, "DGCL volume grew only {dgcl_growth}x");
     assert!(rdm_growth < dgcl_growth && dgcl_growth < cag_growth);
@@ -67,7 +67,9 @@ fn pareto_configs_beat_non_pareto_on_their_metrics() {
     for id in 0..16 {
         let report = train_gcn(
             &ds,
-            &TrainerConfig::rdm(p, Plan::from_id(id, 2, p)).hidden(16).epochs(1),
+            &TrainerConfig::rdm(p, Plan::from_id(id, 2, p))
+                .hidden(16)
+                .epochs(1),
         )
         .unwrap();
         let comm = report.epochs[0].redistribution_bytes();
@@ -92,12 +94,18 @@ fn saint_rdm_converges_no_slower_than_ddp_per_epoch() {
     let epochs = 5;
     let rdm = train_gcn(
         &ds,
-        &TrainerConfig::saint_rdm(4, sampler).hidden(16).epochs(epochs).lr(0.02),
+        &TrainerConfig::saint_rdm(4, sampler)
+            .hidden(16)
+            .epochs(epochs)
+            .lr(0.02),
     )
     .unwrap();
     let ddp = train_gcn(
         &ds,
-        &TrainerConfig::saint_ddp(4, sampler).hidden(16).epochs(epochs).lr(0.02),
+        &TrainerConfig::saint_ddp(4, sampler)
+            .hidden(16)
+            .epochs(epochs)
+            .lr(0.02),
     )
     .unwrap();
     // Compare accuracy trajectories epoch by epoch: RDM should dominate
@@ -146,7 +154,10 @@ fn replication_vs_traffic_tradeoff() {
     let v2 = vol(2);
     let v4 = vol(4);
     let v8 = vol(8);
-    assert!(v1 > v2 && v2 > v4 && v4 > v8, "traffic not decreasing: {v1} {v2} {v4} {v8}");
+    assert!(
+        v1 > v2 && v2 > v4 && v4 > v8,
+        "traffic not decreasing: {v1} {v2} {v4} {v8}"
+    );
     // Memory moves the other way.
     use gnn_rdm::model::{rdm_bytes_per_gpu, MemoryParams};
     let mp = MemoryParams {
