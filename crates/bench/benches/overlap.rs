@@ -1,0 +1,64 @@
+//! Blocking vs chunk-pipelined redistribution, end to end: the same RDM
+//! epoch with `--overlap`-style chunking on and off. The results are
+//! bit-identical; the payoff is simulated epoch time, so alongside the
+//! wall-clock samples the harness prints the modeled comparison — on a
+//! problem sized so redistribution time is comparable to kernel time,
+//! pipelining must shave a measurable slice off the epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdm_core::{train_gcn, Plan, TrainerConfig};
+use rdm_graph::DatasetSpec;
+
+fn bench_overlap(c: &mut Criterion) {
+    // Wide features, dense-ish graph, and the all-GEMM-first ordering so
+    // every redistribution feeds an SpMM: redistribution time per layer
+    // rivals the (slow, memory-bound) aggregation it can hide behind —
+    // the regime where overlap pays. Orderings whose redistributions feed
+    // the ~100× faster GEMM have almost nothing to hide behind and only
+    // pay the chunking latency.
+    let ds = DatasetSpec::synthetic("overlap-bench", 6_000, 120_000, 128, 16).instantiate(3);
+    let p = 4usize;
+    let base = || {
+        TrainerConfig::rdm(p, Plan::from_id(15, 2, p))
+            .hidden(128)
+            .epochs(1)
+    };
+
+    let blocking = train_gcn(&ds, &base()).unwrap();
+    let overlapped = train_gcn(&ds, &base().overlap(4)).unwrap();
+    let (b_ms, o_ms) = (
+        blocking.mean_sim_epoch_s() * 1e3,
+        overlapped.mean_sim_epoch_s() * 1e3,
+    );
+    eprintln!(
+        "overlap: simulated epoch {b_ms:.3} ms blocking vs {o_ms:.3} ms pipelined \
+         ({:.1}% hidden, {:.3} ms of comm overlapped)",
+        100.0 * (b_ms - o_ms) / b_ms,
+        overlapped.total_overlap_ns() as f64 / 1e6,
+    );
+    assert!(
+        o_ms < b_ms,
+        "pipelining must reduce the simulated epoch ({b_ms:.3} -> {o_ms:.3} ms)"
+    );
+    assert_eq!(
+        blocking.epochs[0].loss.to_bits(),
+        overlapped.epochs[0].loss.to_bits(),
+        "bench configs diverged — overlap is supposed to be bit-identical"
+    );
+
+    let mut group = c.benchmark_group("overlap");
+    group.sample_size(10);
+    for (label, chunks) in [("blocking", None), ("chunked", Some(4usize))] {
+        let cfg = match chunks {
+            None => base(),
+            Some(n) => base().overlap(n),
+        };
+        group.bench_with_input(BenchmarkId::new(label, p), &cfg, |b, cfg| {
+            b.iter(|| train_gcn(&ds, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

@@ -17,9 +17,36 @@
 //! * `all_reduce_ring`: reduce-scatter + all-gather, `2·(g-1)/g·|m|` per
 //!   rank — the bandwidth-optimal NCCL-style ring, provided as an ablation.
 
-use crate::cluster::RankCtx;
+use crate::cluster::{PendingRecv, RankCtx};
 use crate::stats::CollectiveKind;
 use rdm_dense::{add_assign, hstack, part_range, vstack, Mat};
+
+/// Axis along which [`RankCtx::group_all_to_all_chunked`] splits each peer
+/// block into pipeline chunks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkAxis {
+    /// Column sub-ranges (the Row→Col redistribution: every sender's block
+    /// shares this rank's column range, so chunk `q` is a column strip).
+    Cols,
+    /// Row sub-ranges (the Col→Row redistribution, symmetrically).
+    Rows,
+}
+
+/// Chunk `q` of `chunks` equal-as-possible sub-blocks of `m` along `axis`
+/// (`part_range` splitting: empty sub-blocks when `chunks` exceeds the
+/// dimension).
+fn sub_block(m: &Mat, axis: ChunkAxis, chunks: usize, q: usize) -> Mat {
+    match axis {
+        ChunkAxis::Cols => {
+            let r = part_range(m.cols(), chunks, q);
+            m.col_block(r.start, r.end)
+        }
+        ChunkAxis::Rows => {
+            let r = part_range(m.rows(), chunks, q);
+            m.row_block(r.start, r.end)
+        }
+    }
+}
 
 impl RankCtx {
     /// Position of this rank within `group`.
@@ -136,6 +163,84 @@ impl RankCtx {
     pub fn all_to_all(&self, parts: Vec<Mat>, kind: CollectiveKind) -> Vec<Mat> {
         let group: Vec<usize> = (0..self.size()).collect();
         self.group_all_to_all(&group, parts, kind)
+    }
+
+    /// Chunk-pipelined personalized all-to-all within `group`: every peer
+    /// block `parts[j]` is split into `chunks` sub-blocks along `axis` and
+    /// shipped **chunk-major** (all of chunk 0 to every peer, then all of
+    /// chunk 1, …), so the first chunk completes everywhere before later
+    /// ones are even on the wire. The caller drains the returned iterator
+    /// with [`ChunkedAllToAll::recv_chunk`], computing on chunk `q` while
+    /// chunk `q+1` is in flight.
+    ///
+    /// Payload **bytes** per (src, dst) pair are identical to
+    /// [`RankCtx::group_all_to_all`] — the sub-blocks tile the block
+    /// exactly — but message *counts* scale by `chunks` (empty sub-blocks
+    /// still cost a zero-byte message when `chunks` exceeds the split
+    /// dimension). The part addressed to this rank never touches the wire.
+    ///
+    /// # Panics
+    /// If `parts.len() != group.len()` or `chunks == 0`.
+    pub fn group_all_to_all_chunked<'g>(
+        &'g self,
+        group: &'g [usize],
+        mut parts: Vec<Mat>,
+        axis: ChunkAxis,
+        chunks: usize,
+        kind: CollectiveKind,
+    ) -> ChunkedAllToAll<'g> {
+        assert_eq!(
+            parts.len(),
+            group.len(),
+            "all_to_all needs one part per group member"
+        );
+        assert!(chunks > 0, "need at least one chunk");
+        let my_idx = self.group_index(group);
+        let my_part = std::mem::replace(&mut parts[my_idx], Mat::zeros(0, 0));
+        for q in 0..chunks {
+            for (idx, &dst) in group.iter().enumerate() {
+                if idx != my_idx {
+                    self.isend(dst, sub_block(&parts[idx], axis, chunks, q), kind);
+                }
+            }
+        }
+        ChunkedAllToAll {
+            ctx: self,
+            group,
+            my_idx,
+            my_part,
+            axis,
+            chunks,
+            next: 0,
+        }
+    }
+
+    /// Whole-cluster [`RankCtx::group_all_to_all_chunked`], drained and
+    /// reassembled: returns exactly what [`RankCtx::all_to_all`] returns
+    /// (bit-identical), having moved the same bytes in `chunks`× the
+    /// messages.
+    pub fn all_to_all_chunked(
+        &self,
+        parts: Vec<Mat>,
+        axis: ChunkAxis,
+        chunks: usize,
+        kind: CollectiveKind,
+    ) -> Vec<Mat> {
+        let group: Vec<usize> = (0..self.size()).collect();
+        let mut pipe = self.group_all_to_all_chunked(&group, parts, axis, chunks, kind);
+        let mut per_sender: Vec<Vec<Mat>> = (0..group.len()).map(|_| Vec::new()).collect();
+        while let Some(pieces) = pipe.recv_chunk() {
+            for (sender, piece) in pieces.into_iter().enumerate() {
+                per_sender[sender].push(piece);
+            }
+        }
+        per_sender
+            .into_iter()
+            .map(|chunks| match axis {
+                ChunkAxis::Cols => hstack(&chunks),
+                ChunkAxis::Rows => vstack(&chunks),
+            })
+            .collect()
     }
 
     /// Element-wise sum all-reduce within `group` (naive all-gather
@@ -271,6 +376,65 @@ impl RankCtx {
     }
 }
 
+/// The receive side of an in-flight chunk-pipelined all-to-all (created by
+/// [`RankCtx::group_all_to_all_chunked`]).
+///
+/// Every chunk **must** be drained: dropping the pipeline early leaves the
+/// remaining sub-block messages on the wire, which `Cluster::run`'s drain
+/// check reports as mismatched collectives.
+#[must_use = "drain every chunk or the fabric is left undrained"]
+pub struct ChunkedAllToAll<'g> {
+    ctx: &'g RankCtx,
+    group: &'g [usize],
+    my_idx: usize,
+    my_part: Mat,
+    axis: ChunkAxis,
+    chunks: usize,
+    next: usize,
+}
+
+impl ChunkedAllToAll<'_> {
+    /// Total number of chunks in the pipeline.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Chunks not yet received.
+    pub fn remaining(&self) -> usize {
+        self.chunks - self.next
+    }
+
+    /// Receive the next chunk: sub-blocks from every group member in group
+    /// order (this rank's own sub-block is sliced locally, costing no
+    /// bytes). Returns `None` once all chunks are drained.
+    ///
+    /// Receives are posted as `irecv` handles for every peer up front and
+    /// then claimed in group order — per-link FIFO plus the sender's
+    /// chunk-major order guarantee the handles resolve to exactly chunk
+    /// `q`'s pieces, faults or not.
+    pub fn recv_chunk(&mut self) -> Option<Vec<Mat>> {
+        if self.next == self.chunks {
+            return None;
+        }
+        let q = self.next;
+        self.next += 1;
+        let pending: Vec<Option<PendingRecv>> = self
+            .group
+            .iter()
+            .enumerate()
+            .map(|(idx, &src)| (idx != self.my_idx).then(|| self.ctx.irecv(src)))
+            .collect();
+        let pieces = pending
+            .into_iter()
+            .map(|handle| match handle {
+                Some(h) => h.wait(self.ctx),
+                None => sub_block(&self.my_part, self.axis, self.chunks, q),
+            })
+            .collect();
+        Some(pieces)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +506,113 @@ mod tests {
         // Each rank sent p-1 parts of 8 bytes.
         for st in &out.stats {
             assert_eq!(st.total_bytes(), ((p - 1) * 8) as u64);
+        }
+    }
+
+    #[test]
+    fn chunked_all_to_all_matches_blocking_bitwise() {
+        for p in [2usize, 3, 4] {
+            for chunks in [1usize, 2, 3, 5, 9] {
+                let out = Cluster::new(p).run(move |ctx| {
+                    let mk = |j: usize| {
+                        Mat::from_fn(3, 7, |r, c| {
+                            (ctx.rank() * 1000 + j * 100 + r * 10 + c) as f32
+                        })
+                    };
+                    let blocking = ctx.all_to_all((0..p).map(mk).collect(), K);
+                    let chunked = ctx.all_to_all_chunked(
+                        (0..p).map(mk).collect(),
+                        ChunkAxis::Cols,
+                        chunks,
+                        K,
+                    );
+                    assert_eq!(blocking, chunked, "p={p} chunks={chunks}");
+                    let rows = ctx.all_to_all_chunked(
+                        (0..p).map(mk).collect(),
+                        ChunkAxis::Rows,
+                        chunks,
+                        K,
+                    );
+                    assert_eq!(blocking, rows, "p={p} chunks={chunks} rows");
+                });
+                drop(out);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_all_to_all_bytes_match_messages_scale() {
+        let p = 4;
+        let chunks = 3;
+        let run = |c: Option<usize>| {
+            Cluster::new(p).run(move |ctx| {
+                let parts = (0..p).map(|_| Mat::zeros(2, 6)).collect();
+                match c {
+                    None => drop(ctx.all_to_all(parts, K)),
+                    Some(c) => drop(ctx.all_to_all_chunked(parts, ChunkAxis::Cols, c, K)),
+                }
+            })
+        };
+        let blocking = run(None);
+        let chunked = run(Some(chunks));
+        for r in 0..p {
+            // 6 columns split 3 ways is exact: bytes identical, messages ×3.
+            assert_eq!(
+                blocking.stats[r].total_bytes(),
+                chunked.stats[r].total_bytes()
+            );
+            assert_eq!(
+                chunked.stats[r].total_messages(),
+                chunks as u64 * blocking.stats[r].total_messages()
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_pipeline_yields_chunks_incrementally() {
+        let p = 3;
+        let chunks = 4;
+        Cluster::new(p).run(move |ctx| {
+            let global = Mat::from_fn(6, 9, |i, j| (i * 100 + j) as f32);
+            let r = part_range(6, p, ctx.rank());
+            let local = global.row_block(r.start, r.end);
+            let parts = rdm_dense::split_cols(&local, p);
+            let group: Vec<usize> = (0..p).collect();
+            let mut pipe = ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Cols, chunks, K);
+            assert_eq!(pipe.chunks(), chunks);
+            let my_cols = part_range(9, p, ctx.rank());
+            let mut strips = Vec::new();
+            let mut seen = 0;
+            while let Some(pieces) = pipe.recv_chunk() {
+                seen += 1;
+                assert_eq!(pipe.remaining(), chunks - seen);
+                // Chunk q is a column strip of my column slice, spanning
+                // all global rows once the per-sender pieces are stacked.
+                strips.push(vstack(&pieces));
+            }
+            assert_eq!(seen, chunks);
+            let mine = hstack(&strips);
+            assert_eq!(mine, global.col_block(my_cols.start, my_cols.end));
+        });
+    }
+
+    #[test]
+    fn chunked_all_to_all_survives_faults() {
+        use crate::fault::FaultPlan;
+        let p = 4;
+        let spmd = move |ctx: &RankCtx| {
+            let mk =
+                |j: usize| Mat::from_fn(5, 4, |r, c| (ctx.rank() * 97 + j * 13 + r * 4 + c) as f32);
+            ctx.all_to_all_chunked((0..p).map(mk).collect(), ChunkAxis::Cols, 3, K)
+        };
+        let clean = Cluster::new(p).run(spmd);
+        let faulty =
+            Cluster::with_faults(p, FaultPlan::new(42).drop_rate(0.3).delay(0.4, 3)).run(spmd);
+        assert_eq!(clean.results, faulty.results);
+        let retries: u64 = faulty.stats.iter().map(|s| s.retries).sum();
+        assert!(retries > 0, "fault plan never fired");
+        for r in 0..p {
+            assert_eq!(clean.stats[r].total_bytes(), faulty.stats[r].total_bytes());
         }
     }
 

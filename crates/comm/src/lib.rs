@@ -20,8 +20,11 @@
 //!   accounted separately in [`CommStats`].
 //! * [`collectives`] — broadcast / all-gather / all-to-all / all-reduce /
 //!   reduce-scatter / barrier, including *group* variants over a subset of
-//!   ranks (needed by the `R_A < P` row-panel scheme of §III-E).
-//! * [`stats`] — byte, message, wall-time and retransmission accounting.
+//!   ranks (needed by the `R_A < P` row-panel scheme of §III-E) and the
+//!   chunk-pipelined all-to-all ([`ChunkedAllToAll`]) that overlapped
+//!   redistribution is built on.
+//! * [`stats`] — byte, message, wall-time, retransmission and
+//!   hidden-communication accounting.
 
 pub mod cluster;
 pub mod collectives;
@@ -29,6 +32,7 @@ pub mod fault;
 pub mod mailbox;
 pub mod stats;
 
-pub use cluster::{Cluster, RankCtx};
+pub use cluster::{Cluster, PendingRecv, RankCtx};
+pub use collectives::{ChunkAxis, ChunkedAllToAll};
 pub use fault::{FaultPlan, Resolution};
 pub use stats::{CollectiveKind, CommStats};

@@ -61,6 +61,11 @@ pub struct CommStats {
     /// Modeled exponential-backoff wait accumulated by retries, in virtual
     /// nanoseconds (accounted, never slept).
     pub backoff_ns: u64,
+    /// Modeled communication time hidden behind compute by the pipelined
+    /// redistribution path, in virtual nanoseconds. Zero on the blocking
+    /// path. Like `backoff_ns` this is device-model time, never wall time,
+    /// so it is deterministic for a given run.
+    pub overlap_ns: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -89,6 +94,12 @@ impl CommStats {
         self.retries += retries as u64;
         self.retransmit_bytes += bytes;
         self.backoff_ns += backoff_ns;
+    }
+
+    /// Record modeled comm time hidden behind compute by an overlapped
+    /// (chunk-pipelined) collective, in virtual nanoseconds.
+    pub fn record_overlap(&mut self, ns: u64) {
+        self.overlap_ns += ns;
     }
 
     /// Total bytes sent across all kinds.
@@ -122,6 +133,7 @@ impl CommStats {
         self.retries += other.retries;
         self.retransmit_bytes += other.retransmit_bytes;
         self.backoff_ns += other.backoff_ns;
+        self.overlap_ns += other.overlap_ns;
     }
 
     /// `self - baseline` for every counter; used to carve an epoch's stats
@@ -140,6 +152,7 @@ impl CommStats {
             .retransmit_bytes
             .saturating_sub(baseline.retransmit_bytes);
         out.backoff_ns = self.backoff_ns.saturating_sub(baseline.backoff_ns);
+        out.overlap_ns = self.overlap_ns.saturating_sub(baseline.overlap_ns);
         out
     }
 }
@@ -194,6 +207,25 @@ mod tests {
         assert_eq!(d.retries, 1);
         assert_eq!(d.retransmit_bytes, 50);
         assert_eq!(d.backoff_ns, 1_000);
+    }
+
+    #[test]
+    fn overlap_tracked_separately_from_payload() {
+        let mut s = CommStats::default();
+        s.record_send(CollectiveKind::Redistribute, 100);
+        s.record_overlap(5_000);
+        s.record_overlap(2_500);
+        // Hidden-comm accounting never perturbs the volume counters.
+        assert_eq!(s.total_bytes(), 100);
+        assert_eq!(s.overlap_ns, 7_500);
+
+        let mut merged = CommStats::default();
+        merged.record_overlap(500);
+        merged.merge(&s);
+        assert_eq!(merged.overlap_ns, 8_000);
+
+        let d = merged.delta_since(&s);
+        assert_eq!(d.overlap_ns, 500);
     }
 
     #[test]

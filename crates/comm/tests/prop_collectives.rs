@@ -2,10 +2,17 @@
 //! every trainer relies on, over randomized shapes and cluster sizes.
 
 use proptest::prelude::*;
-use rdm_comm::{Cluster, CollectiveKind};
+use rdm_comm::{ChunkAxis, Cluster, CollectiveKind, FaultPlan};
 use rdm_dense::{allclose, part_range, Mat};
 
 const K: CollectiveKind = CollectiveKind::Other;
+
+fn chaos_base() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -131,6 +138,116 @@ proptest! {
                 let expect = Mat::random(1, 3, 1.0, seed ^ i as u64);
                 prop_assert_eq!(m, &expect);
             }
+        }
+    }
+
+    /// The chunked all-to-all is bitwise the plain all-to-all for *any*
+    /// chunk count — including counts that don't divide the split axis
+    /// (ragged tails) and counts exceeding it (empty chunks) — on both
+    /// axes.
+    #[test]
+    fn chunked_all_to_all_equals_blocking(
+        p in 1usize..6,
+        rows in 1usize..12,
+        cols in 1usize..9,
+        chunks in 1usize..20,
+        by_rows in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let axis = if by_rows == 1 { ChunkAxis::Rows } else { ChunkAxis::Cols };
+        let make = move |me: usize| -> Vec<Mat> {
+            (0..p)
+                .map(|j| Mat::random(rows, cols, 1.0, seed ^ ((me * 31 + j) as u64)))
+                .collect()
+        };
+        let blocking = Cluster::new(p).run(move |ctx| ctx.all_to_all(make(ctx.rank()), K));
+        let chunked = Cluster::new(p)
+            .run(move |ctx| ctx.all_to_all_chunked(make(ctx.rank()), axis, chunks, K));
+        for (rank, (b, c)) in blocking.results.iter().zip(&chunked.results).enumerate() {
+            prop_assert_eq!(b, c, "rank {} chunked payload diverged", rank);
+        }
+        // Payload bytes are identical; only message counts scale with
+        // the (non-empty) chunk count.
+        for (sb, sc) in blocking.stats.iter().zip(&chunked.stats) {
+            prop_assert_eq!(sb.bytes(K), sc.bytes(K));
+            prop_assert!(sc.messages(K) >= sb.messages(K));
+        }
+    }
+
+    /// A chunked H→V redistribution followed by a chunked V→H one
+    /// restores every rank's slice exactly, via the same all-to-all
+    /// algebra the engine's Row→Col→Row path uses.
+    #[test]
+    fn chunked_redistribution_roundtrip(
+        p in 1usize..6,
+        n in 1usize..40,
+        f in 1usize..16,
+        chunks in 1usize..24,
+        seed in 0u64..500,
+    ) {
+        let global = Mat::random(n, f, 1.0, seed);
+        let g2 = global.clone();
+        let out = Cluster::new(p).run(move |ctx| {
+            let me = ctx.rank();
+            let r = part_range(n, p, me);
+            let local = g2.row_block(r.start, r.end);
+            // H→V: split my row slice by column ownership, chunk along
+            // columns (the strips the pipelined SpMM consumes).
+            let parts: Vec<Mat> = (0..p)
+                .map(|j| {
+                    let c = part_range(f, p, j);
+                    local.col_block(c.start, c.end)
+                })
+                .collect();
+            let got = ctx.all_to_all_chunked(parts, ChunkAxis::Cols, chunks, K);
+            let mine = part_range(f, p, me);
+            let v = rdm_dense::vstack(&got);
+            assert_eq!(v.cols(), mine.len());
+            // V→H: split the column slice by row ownership, chunk along
+            // rows, and reassemble my original slice.
+            let back: Vec<Mat> = (0..p)
+                .map(|j| {
+                    let rr = part_range(n, p, j);
+                    v.row_block(rr.start, rr.end)
+                })
+                .collect();
+            let got = ctx.all_to_all_chunked(back, ChunkAxis::Rows, chunks, K);
+            rdm_dense::hstack(&got)
+        });
+        for (rank, got) in out.results.iter().enumerate() {
+            let r = part_range(n, p, rank);
+            prop_assert_eq!(got, &global.row_block(r.start, r.end));
+        }
+    }
+
+    /// Chunked collectives ride the same envelope protocol as everything
+    /// else: under seeded drops, reordering and stragglers the results
+    /// and payload counters are bit-identical to the clean run.
+    #[test]
+    fn chunked_all_to_all_bitwise_under_chaos(
+        p in 2usize..6,
+        chunks in 1usize..10,
+        drop in 0.0f64..0.4,
+        seed in 0u64..32,
+    ) {
+        let prog = move |ctx: &rdm_comm::RankCtx| {
+            let parts: Vec<Mat> = (0..p)
+                .map(|j| Mat::random(5, 7, 1.0, (ctx.rank() * 31 + j) as u64))
+                .collect();
+            ctx.all_to_all_chunked(parts, ChunkAxis::Cols, chunks, K)
+        };
+        let plan = FaultPlan::new(chaos_base() ^ seed ^ 0xA17)
+            .drop_rate(drop)
+            .delay(0.2, 3)
+            .straggler(0.02, 20_000);
+        let clean = Cluster::new(p).run(prog);
+        let faulty = Cluster::with_faults(p, plan).run(prog);
+        for (rank, (c, f)) in clean.results.iter().zip(&faulty.results).enumerate() {
+            prop_assert_eq!(c, f, "rank {} diverged under faults", rank);
+        }
+        for (sc, sf) in clean.stats.iter().zip(&faulty.stats) {
+            prop_assert_eq!(sc.bytes(K), sf.bytes(K), "payload bytes perturbed");
+            prop_assert_eq!(sc.messages(K), sf.messages(K), "payload messages perturbed");
         }
     }
 

@@ -14,8 +14,8 @@
 //! redistribution), which is how the backward pass reuses forward
 //! redistributions instead of paying for new ones (§III-C).
 
-use rdm_comm::{CollectiveKind, RankCtx};
-use rdm_dense::{part_range, Mat};
+use rdm_comm::{ChunkAxis, CollectiveKind, RankCtx};
+use rdm_dense::{hstack, part_range, vstack, Mat};
 
 /// How a global matrix is laid out across ranks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +24,36 @@ pub enum Dist {
     Row,
     Col,
 }
+
+/// Why a redistribution request cannot be served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedistError {
+    /// Widening a sliced layout to `Replicated` is an all-gather, not a
+    /// redistribution — use [`DistMat::gather`] instead.
+    ToReplicated { from: Dist },
+    /// The pipelined path exists only for the Row↔Col all-to-all; other
+    /// transitions move no inter-rank chunks to stream.
+    NotPipelined { from: Dist, to: Dist },
+}
+
+impl std::fmt::Display for RedistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RedistError::ToReplicated { from } => write!(
+                f,
+                "cannot redistribute {from:?} -> Replicated: replication is an \
+                 all-gather, use DistMat::gather"
+            ),
+            RedistError::NotPipelined { from, to } => write!(
+                f,
+                "no pipelined redistribution for {from:?} -> {to:?}: only the \
+                 Row<->Col all-to-all can be chunk-streamed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RedistError {}
 
 /// One rank's piece of a distributed matrix.
 #[derive(Clone, Debug)]
@@ -104,23 +134,116 @@ impl DistMat {
 
     /// Redistribute to the other sliced layout (Row↔Col) with one
     /// all-to-all, charging `kind`. Redistributing to the current layout
-    /// is a no-op clone.
-    pub fn redistribute(&self, ctx: &RankCtx, target: Dist, kind: CollectiveKind) -> DistMat {
+    /// is a no-op clone; downgrading `Replicated` to a sliced layout is a
+    /// free local slice (every rank already holds its piece). Widening to
+    /// `Replicated` is refused — that is [`DistMat::gather`]'s job.
+    pub fn redistribute(
+        &self,
+        ctx: &RankCtx,
+        target: Dist,
+        kind: CollectiveKind,
+    ) -> Result<DistMat, RedistError> {
         match (self.dist, target) {
-            (a, b) if a == b => self.clone(),
-            (Dist::Row, Dist::Col) => DistMat {
+            (a, b) if a == b => Ok(self.clone()),
+            (Dist::Row, Dist::Col) => Ok(DistMat {
                 dist: Dist::Col,
                 rows: self.rows,
                 cols: self.cols,
                 local: ctx.redistribute_h_to_v(&self.local, kind),
-            },
-            (Dist::Col, Dist::Row) => DistMat {
+            }),
+            (Dist::Col, Dist::Row) => Ok(DistMat {
                 dist: Dist::Row,
                 rows: self.rows,
                 cols: self.cols,
                 local: ctx.redistribute_v_to_h(&self.local, kind),
-            },
-            (from, to) => panic!("unsupported redistribution {from:?} -> {to:?}"),
+            }),
+            (Dist::Replicated, Dist::Row) => {
+                let r = part_range(self.rows, ctx.size(), ctx.rank());
+                Ok(DistMat {
+                    dist: Dist::Row,
+                    rows: self.rows,
+                    cols: self.cols,
+                    local: self.local.row_block(r.start, r.end),
+                })
+            }
+            (Dist::Replicated, Dist::Col) => {
+                let c = part_range(self.cols, ctx.size(), ctx.rank());
+                Ok(DistMat {
+                    dist: Dist::Col,
+                    rows: self.rows,
+                    cols: self.cols,
+                    local: self.local.col_block(c.start, c.end),
+                })
+            }
+            (from, Dist::Replicated) => Err(RedistError::ToReplicated { from }),
+            (from, to) => unreachable!("all (from={from:?}, to={to:?}) pairs handled above"),
+        }
+    }
+
+    /// Chunk-pipelined Row↔Col redistribution (the overlapped execution
+    /// path): the all-to-all is issued as `chunks` column- (Row→Col) or
+    /// row- (Col→Row) strips via [`RankCtx::group_all_to_all_chunked`],
+    /// and as each strip of the *destination* layout completes it is handed
+    /// to `sink(q, strip)` so downstream compute runs on strip `q` while
+    /// strips `q+1..` are still in flight (sends never block, so the whole
+    /// exchange is on the wire before the first strip is consumed).
+    ///
+    /// Strip `q` of a Row→Col redistribution is the column sub-range
+    /// `part_range(my_cols, chunks, q)` of this rank's final column slice,
+    /// with all global rows present; Col→Row is the mirror image. The
+    /// returned matrix is the strips reassembled — **bit-identical** to
+    /// [`DistMat::redistribute`], with identical payload-byte accounting
+    /// (message counts scale by `chunks`).
+    ///
+    /// # Panics
+    /// If `chunks == 0`.
+    pub fn redistribute_overlapped(
+        &self,
+        ctx: &RankCtx,
+        target: Dist,
+        kind: CollectiveKind,
+        chunks: usize,
+        mut sink: impl FnMut(usize, &Mat),
+    ) -> Result<DistMat, RedistError> {
+        assert!(chunks > 0, "need at least one chunk");
+        let p = ctx.size();
+        let group: Vec<usize> = (0..p).collect();
+        match (self.dist, target) {
+            (Dist::Row, Dist::Col) => {
+                let parts = rdm_dense::split_cols(&self.local, p);
+                let mut pipe =
+                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Cols, chunks, kind);
+                let mut units = Vec::with_capacity(chunks);
+                while let Some(pieces) = pipe.recv_chunk() {
+                    let unit = vstack(&pieces);
+                    sink(units.len(), &unit);
+                    units.push(unit);
+                }
+                Ok(DistMat {
+                    dist: Dist::Col,
+                    rows: self.rows,
+                    cols: self.cols,
+                    local: hstack(&units),
+                })
+            }
+            (Dist::Col, Dist::Row) => {
+                let parts = rdm_dense::split_rows(&self.local, p);
+                let mut pipe =
+                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Rows, chunks, kind);
+                let mut units = Vec::with_capacity(chunks);
+                while let Some(pieces) = pipe.recv_chunk() {
+                    let unit = hstack(&pieces);
+                    sink(units.len(), &unit);
+                    units.push(unit);
+                }
+                Ok(DistMat {
+                    dist: Dist::Row,
+                    rows: self.rows,
+                    cols: self.cols,
+                    local: vstack(&units),
+                })
+            }
+            (from, to) => Err(RedistError::NotPipelined { from, to }),
         }
     }
 
@@ -255,9 +378,9 @@ mod tests {
         let g = global.clone();
         let out = Cluster::new(4).run(move |ctx| {
             let r = DistMat::scatter_rows(&g, ctx.size(), ctx.rank());
-            let c = r.redistribute(ctx, Dist::Col, K);
+            let c = r.redistribute(ctx, Dist::Col, K).unwrap();
             assert_eq!(c.dist, Dist::Col);
-            let r2 = c.redistribute(ctx, Dist::Row, K);
+            let r2 = c.redistribute(ctx, Dist::Row, K).unwrap();
             (c.gather(ctx, K), r2.gather(ctx, K))
         });
         for (gc, gr) in &out.results {
@@ -271,12 +394,101 @@ mod tests {
         let global = Mat::random(8, 8, 1.0, 4);
         let out = Cluster::new(2).run(move |ctx| {
             let r = DistMat::scatter_rows(&global, ctx.size(), ctx.rank());
-            let same = r.redistribute(ctx, Dist::Row, K);
+            let same = r.redistribute(ctx, Dist::Row, K).unwrap();
             assert_eq!(same.local, r.local);
         });
         for st in &out.stats {
             assert_eq!(st.total_bytes(), 0);
         }
+    }
+
+    #[test]
+    fn replicated_downgrades_are_free_local_slices() {
+        let global = Mat::from_fn(11, 7, |i, j| (i * 100 + j) as f32);
+        let g = global.clone();
+        let out = Cluster::new(3).run(move |ctx| {
+            let rep = DistMat::replicated(g.clone());
+            let row = rep.redistribute(ctx, Dist::Row, K).unwrap();
+            let col = rep.redistribute(ctx, Dist::Col, K).unwrap();
+            assert_eq!(row.dist, Dist::Row);
+            assert_eq!(col.dist, Dist::Col);
+            (row.local, col.local)
+        });
+        for (r, (row, col)) in out.results.iter().enumerate() {
+            let rr = part_range(11, 3, r);
+            let cc = part_range(7, 3, r);
+            assert_eq!(*row, global.row_block(rr.start, rr.end));
+            assert_eq!(*col, global.col_block(cc.start, cc.end));
+        }
+        // Downgrades are local slicing: no bytes move.
+        for st in &out.stats {
+            assert_eq!(st.total_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn widening_to_replicated_is_a_typed_error() {
+        let global = Mat::zeros(6, 6);
+        let out = Cluster::new(2).run(move |ctx| {
+            let r = DistMat::scatter_rows(&global, ctx.size(), ctx.rank());
+            let c = DistMat::scatter_cols(&global, ctx.size(), ctx.rank());
+            (
+                r.redistribute(ctx, Dist::Replicated, K).unwrap_err(),
+                c.redistribute(ctx, Dist::Replicated, K).unwrap_err(),
+            )
+        });
+        for (er, ec) in &out.results {
+            assert_eq!(*er, RedistError::ToReplicated { from: Dist::Row });
+            assert_eq!(*ec, RedistError::ToReplicated { from: Dist::Col });
+            assert!(er.to_string().contains("gather"));
+        }
+    }
+
+    #[test]
+    fn overlapped_redistribution_is_bitwise_blocking() {
+        for p in [1usize, 2, 3, 4] {
+            for chunks in [1usize, 2, 3, 8, 17] {
+                let global = Mat::random(13, 9, 1.0, 7);
+                let out = Cluster::new(p).run(move |ctx| {
+                    let r = DistMat::scatter_rows(&global, ctx.size(), ctx.rank());
+                    let blocking = r.redistribute(ctx, Dist::Col, K).unwrap();
+                    let mut strips = 0usize;
+                    let overlapped = r
+                        .redistribute_overlapped(ctx, Dist::Col, K, chunks, |q, strip| {
+                            assert_eq!(q, strips);
+                            assert_eq!(strip.rows(), 13);
+                            strips += 1;
+                        })
+                        .unwrap();
+                    assert_eq!(strips, chunks);
+                    assert_eq!(blocking.local, overlapped.local, "p={p} chunks={chunks}");
+                    // And the reverse direction.
+                    let back = blocking.redistribute(ctx, Dist::Row, K).unwrap();
+                    let back_o = overlapped
+                        .redistribute_overlapped(ctx, Dist::Row, K, chunks, |_, _| {})
+                        .unwrap();
+                    assert_eq!(back.local, back_o.local);
+                });
+                drop(out);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_refuses_non_sliced_transitions() {
+        Cluster::new(2).run(|ctx| {
+            let rep = DistMat::replicated(Mat::zeros(4, 4));
+            let err = rep
+                .redistribute_overlapped(ctx, Dist::Row, K, 2, |_, _| {})
+                .unwrap_err();
+            assert_eq!(
+                err,
+                RedistError::NotPipelined {
+                    from: Dist::Replicated,
+                    to: Dist::Row
+                }
+            );
+        });
     }
 
     #[test]

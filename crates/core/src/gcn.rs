@@ -24,8 +24,215 @@ use crate::dist::{Dist, DistMat, FormCache};
 use crate::ops::{dist_gemm, dist_gemm_nt, weight_grad, OpCounters, Topology};
 use crate::plan::Plan;
 use rdm_comm::{CollectiveKind, RankCtx};
-use rdm_dense::{relu, relu_backward, Mat};
-use rdm_model::Order;
+use rdm_dense::{gemm, gemm_nt, hstack, part_range, relu, relu_backward, vstack, Mat};
+use rdm_model::{DeviceModel, Order};
+
+/// Settings of the pipelined (overlapped) execution path, threaded through
+/// [`rdm_forward_with`] / [`rdm_backward_with`].
+///
+/// When active, every Row↔Col redistribution that feeds a distributed
+/// SpMM or GEMM is issued as `chunks` strips
+/// ([`DistMat::redistribute_overlapped`]) and the kernel runs strip by
+/// strip, consuming chunk `q` while chunks `q+1..` are in flight. Both
+/// kernels are strip-separable (SpMM per output column, GEMM per output
+/// row), so results are **bit-identical** to the blocking path, as are the
+/// payload-byte counters; the win is modeled by `device` and recorded as
+/// `CommStats::overlap_ns`.
+#[derive(Clone, Copy, Debug)]
+pub struct OverlapSpec {
+    /// Pipeline depth: how many strips each redistribution splits into.
+    pub chunks: usize,
+    /// Device model pricing the hidden communication time.
+    pub device: DeviceModel,
+}
+
+impl OverlapSpec {
+    /// An overlap spec with the paper's device model.
+    pub fn new(chunks: usize) -> Self {
+        OverlapSpec {
+            chunks,
+            device: DeviceModel::a6000_pcie(),
+        }
+    }
+}
+
+/// The pipelined path replaces a blocking redistribution only when there
+/// is a pipeline to run (`chunks > 1`, more than one rank) on the plain
+/// column-sliced layout (`R_A = P`; the tile layout of `R_A < P` splits
+/// redistribution across row groups) without an edge mask.
+fn overlap_active<'s>(
+    overlap: Option<&'s OverlapSpec>,
+    ctx: &RankCtx,
+    topo: &Topology,
+) -> Option<&'s OverlapSpec> {
+    overlap.filter(|o| {
+        o.chunks > 1 && ctx.size() > 1 && topo.grid.r_a == ctx.size() && topo.mask.is_none()
+    })
+}
+
+/// Modeled per-chunk send-side communication seconds of this rank's share
+/// of a chunked redistribution of its `rows_l × cols_l` local block
+/// (split along columns for Row→Col, along rows for Col→Row). Send-side
+/// bytes are symmetric across ranks for balanced slicings, so this is the
+/// per-rank link time the device model would charge the blocking
+/// all-to-all, divided over the chunks exactly as the bytes are.
+fn chunk_comm_times(
+    spec: &OverlapSpec,
+    ctx: &RankCtx,
+    rows_l: usize,
+    cols_l: usize,
+    split_cols: bool,
+) -> Vec<f64> {
+    let p = ctx.size();
+    let me = ctx.rank();
+    let (peer_dim, fixed) = if split_cols {
+        (cols_l, rows_l)
+    } else {
+        (rows_l, cols_l)
+    };
+    (0..spec.chunks)
+        .map(|q| {
+            let mut elems = 0usize;
+            for j in 0..p {
+                if j == me {
+                    continue;
+                }
+                let peer = part_range(peer_dim, p, j);
+                elems += part_range(peer.len(), spec.chunks, q).len() * fixed;
+            }
+            spec.device.comm_time(elems as f64 * 4.0, (p - 1) as f64)
+        })
+        .collect()
+}
+
+/// Account the modeled comm time this pipeline hid behind compute.
+fn record_hidden(ctx: &RankCtx, spec: &OverlapSpec, comm_s: &[f64], comp_s: &[f64]) {
+    let hidden = spec.device.hidden_time(comm_s, comp_s);
+    ctx.record_overlap((hidden * 1e9) as u64);
+}
+
+/// `Â·(tile form of cache)` — the aggregation fed by a Row→Col
+/// redistribution. With `overlap` active and the tile form missing, the
+/// redistribution is chunk-pipelined and the SpMM runs strip by strip;
+/// SpMM output columns are independent, so the result is bit-identical to
+/// the blocking path. The freshly built tile form lands in `cache` either
+/// way (mirroring `require_col`).
+fn spmm_via_col(
+    ctx: &RankCtx,
+    topo: &Topology,
+    cache: &mut FormCache,
+    bwd: bool,
+    overlap: Option<&OverlapSpec>,
+    ops: &mut OpCounters,
+) -> DistMat {
+    let spec = match overlap_active(overlap, ctx, topo) {
+        Some(s) if !cache.has_col() => s,
+        _ => {
+            let tile = cache
+                .require_col(topo, ctx, CollectiveKind::Redistribute)
+                .clone();
+            return if bwd {
+                topo.spmm_bwd(&tile, ctx, ops)
+            } else {
+                topo.spmm(&tile, ctx, ops)
+            };
+        }
+    };
+    let panel = if bwd {
+        topo.panel_t.as_ref().unwrap_or(&topo.panel)
+    } else {
+        &topo.panel
+    };
+    let row = cache.row.as_ref().expect("cache holds a layout").clone();
+    let comm_s = chunk_comm_times(spec, ctx, row.local.rows(), row.local.cols(), true);
+    let mut comp_s = Vec::with_capacity(spec.chunks);
+    let mut strips: Vec<Mat> = Vec::with_capacity(spec.chunks);
+    let col = row
+        .redistribute_overlapped(
+            ctx,
+            Dist::Col,
+            CollectiveKind::Redistribute,
+            spec.chunks,
+            |_, strip| {
+                strips.push(rdm_sparse::spmm(panel, strip));
+                let fma = panel.nnz() as f64 * strip.cols() as f64;
+                ops.spmm_fma += fma;
+                comp_s.push(spec.device.compute_time(fma, 0.0));
+            },
+        )
+        .expect("Row->Col is always pipelined");
+    record_hidden(ctx, spec, &comm_s, &comp_s);
+    let out = DistMat {
+        dist: Dist::Col,
+        rows: topo.n,
+        cols: col.cols,
+        local: hstack(&strips),
+    };
+    cache.put(col);
+    out
+}
+
+/// `(row form of cache)·W` (or `·Wᵀ`) — the dense product fed by a
+/// Col→Row redistribution. With `overlap` active and the row form missing,
+/// strips of the incoming row slice are multiplied while later strips are
+/// in flight; GEMM output rows are independent, so the result is
+/// bit-identical. The row form lands in `cache` either way (mirroring
+/// `require_row`) — the memoization and weight-gradient reuse paths read
+/// it from there.
+fn gemm_via_row(
+    ctx: &RankCtx,
+    topo: &Topology,
+    cache: &mut FormCache,
+    w: &Mat,
+    transpose_w: bool,
+    overlap: Option<&OverlapSpec>,
+    ops: &mut OpCounters,
+) -> DistMat {
+    let spec = match overlap_active(overlap, ctx, topo) {
+        Some(s) if !cache.has_row() => s,
+        _ => {
+            let row = cache
+                .require_row(topo, ctx, CollectiveKind::Redistribute)
+                .clone();
+            return if transpose_w {
+                dist_gemm_nt(&row, w, ops)
+            } else {
+                dist_gemm(&row, w, ops)
+            };
+        }
+    };
+    let col = cache.col.as_ref().expect("cache holds a layout").clone();
+    let comm_s = chunk_comm_times(spec, ctx, col.local.rows(), col.local.cols(), false);
+    let mut comp_s = Vec::with_capacity(spec.chunks);
+    let mut strips: Vec<Mat> = Vec::with_capacity(spec.chunks);
+    let row = col
+        .redistribute_overlapped(
+            ctx,
+            Dist::Row,
+            CollectiveKind::Redistribute,
+            spec.chunks,
+            |_, strip| {
+                strips.push(if transpose_w {
+                    gemm_nt(strip, w)
+                } else {
+                    gemm(strip, w)
+                });
+                let fma = strip.rows() as f64 * w.rows() as f64 * w.cols() as f64;
+                ops.gemm_fma += fma;
+                comp_s.push(spec.device.compute_time(0.0, fma));
+            },
+        )
+        .expect("Col->Row is always pipelined");
+    record_hidden(ctx, spec, &comm_s, &comp_s);
+    let out = DistMat {
+        dist: Dist::Row,
+        rows: col.rows,
+        cols: if transpose_w { w.rows() } else { w.cols() },
+        local: vstack(&strips),
+    };
+    cache.put(row);
+    out
+}
 
 /// Replicated GCN weights, `w[l-1]` has shape `feats[l-1] × feats[l]`.
 #[derive(Clone, Debug)]
@@ -98,6 +305,23 @@ pub fn rdm_forward(
     plan: &Plan,
     ops: &mut OpCounters,
 ) -> ForwardArtifacts {
+    rdm_forward_with(ctx, topo, input, weights, plan, None, ops)
+}
+
+/// [`rdm_forward`] with an optional pipelined-redistribution spec. With
+/// `overlap = None` (or when [`OverlapSpec`] does not apply to this
+/// topology) the execution is the classic blocking schedule; results and
+/// payload bytes are identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn rdm_forward_with(
+    ctx: &RankCtx,
+    topo: &Topology,
+    input: FormCache,
+    weights: &GcnWeights,
+    plan: &Plan,
+    overlap: Option<&OverlapSpec>,
+    ops: &mut OpCounters,
+) -> ForwardArtifacts {
     let layers = plan.config.layers();
     assert_eq!(weights.layers(), layers, "weight/plan layer mismatch");
     assert_eq!(
@@ -114,16 +338,11 @@ pub fn rdm_forward(
             Order::SpmmFirst => {
                 // T = Â·H^{l-1} (needs the tile layout), then Z = T·W
                 // (needs row slices): one intra-layer redistribution of
-                // width f_{l-1}.
-                let input_tile = h[l - 1]
-                    .require_col(topo, ctx, CollectiveKind::Redistribute)
-                    .clone();
-                let t = topo.spmm(&input_tile, ctx, ops);
+                // width f_{l-1}. Under `overlap` each redistribution is
+                // chunk-pipelined into its kernel.
+                let t = spmm_via_col(ctx, topo, &mut h[l - 1], false, overlap, ops);
                 let mut tc = FormCache::of_col(t);
-                let t_row = tc
-                    .require_row(topo, ctx, CollectiveKind::Redistribute)
-                    .clone();
-                let z = dist_gemm(&t_row, w, ops);
+                let z = gemm_via_row(ctx, topo, &mut tc, w, false, overlap, ops);
                 if plan.memoize {
                     t_fwd[l - 1] = Some(tc);
                 }
@@ -132,12 +351,9 @@ pub fn rdm_forward(
             Order::GemmFirst => {
                 // T = H^{l-1}·W (row slices), then Z = Â·T (tile layout):
                 // one redistribution of width f_l.
-                let input_row = h[l - 1]
-                    .require_row(topo, ctx, CollectiveKind::Redistribute)
-                    .clone();
-                let t = dist_gemm(&input_row, w, ops);
-                let t_tile = topo.row_to_tile(&t, ctx, CollectiveKind::Redistribute);
-                let z = topo.spmm(&t_tile, ctx, ops);
+                let t = gemm_via_row(ctx, topo, &mut h[l - 1], w, false, overlap, ops);
+                let mut ttc = FormCache::of_row(t);
+                let z = spmm_via_col(ctx, topo, &mut ttc, false, overlap, ops);
                 FormCache::of_col(activate(z, !is_last))
             }
         };
@@ -167,6 +383,27 @@ pub fn rdm_backward(
     feats: &[usize],
     ops: &mut OpCounters,
 ) -> BackwardResult {
+    rdm_backward_with(
+        ctx, topo, artifacts, weights, plan, loss_grad, feats, None, ops,
+    )
+}
+
+/// [`rdm_backward`] with an optional pipelined-redistribution spec; see
+/// [`rdm_forward_with`]. The weight-gradient and ReLU-mask stages stay
+/// blocking (they reuse cached layouts and are rarely on the critical
+/// redistribution path).
+#[allow(clippy::too_many_arguments)]
+pub fn rdm_backward_with(
+    ctx: &RankCtx,
+    topo: &Topology,
+    artifacts: &mut ForwardArtifacts,
+    weights: &GcnWeights,
+    plan: &Plan,
+    loss_grad: DistMat,
+    feats: &[usize],
+    overlap: Option<&OverlapSpec>,
+    ops: &mut OpCounters,
+) -> BackwardResult {
     let layers = plan.config.layers();
     assert_eq!(
         loss_grad.dist,
@@ -187,26 +424,18 @@ pub fn rdm_backward(
             Order::SpmmFirst => {
                 // T = Â·Gˡ (tile layout), redistribute, then Gˡ⁻¹ = T·Wᵀ
                 // (row slices).
-                let g_tile = g_cache
-                    .require_col(topo, ctx, CollectiveKind::Redistribute)
-                    .clone();
-                let t = topo.spmm_bwd(&g_tile, ctx, ops);
+                let t = spmm_via_col(ctx, topo, &mut g_cache, true, overlap, ops);
                 let mut tc = FormCache::of_col(t);
-                let t_row = tc
-                    .require_row(topo, ctx, CollectiveKind::Redistribute)
-                    .clone();
-                let gp = dist_gemm_nt(&t_row, w, ops);
+                let gp = gemm_via_row(ctx, topo, &mut tc, w, true, overlap, ops);
+                let t_row = tc.row.as_ref().expect("GEMM left the row form").clone();
                 (gp, Some(t_row))
             }
             Order::GemmFirst => {
                 // T = Gˡ·Wᵀ (row slices), redistribute, then Gˡ⁻¹ = Â·T
                 // (tile layout).
-                let g_row = g_cache
-                    .require_row(topo, ctx, CollectiveKind::Redistribute)
-                    .clone();
-                let t = dist_gemm_nt(&g_row, w, ops);
-                let t_tile = topo.row_to_tile(&t, ctx, CollectiveKind::Redistribute);
-                let gp = topo.spmm_bwd(&t_tile, ctx, ops);
+                let t = gemm_via_row(ctx, topo, &mut g_cache, w, true, overlap, ops);
+                let mut ttc = FormCache::of_row(t);
+                let gp = spmm_via_col(ctx, topo, &mut ttc, true, overlap, ops);
                 (gp, None)
             }
         };
@@ -821,6 +1050,85 @@ mod tests {
         // No broadcast traffic at all (fully replicated adjacency).
         for st in &out.stats {
             assert_eq!(st.bytes(CollectiveKind::Broadcast), 0);
+        }
+    }
+
+    /// The pipelined engine must be *bitwise* identical to the blocking
+    /// one — logits, weight gradients, G⁰ and payload bytes — for every
+    /// 2-layer plan, while actually hiding modeled communication time.
+    #[test]
+    fn overlapped_engine_is_bitwise_blocking() {
+        let ds = toy(57, 13);
+        let p = 3;
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 21);
+        for id in 0..16 {
+            let plan = Plan::from_id(id, 2, p);
+            let mut runs = Vec::new();
+            for chunks in [None, Some(3usize)] {
+                let plan = plan.clone();
+                let (adj, feats, w2, labels) = (
+                    ds.adj_norm.clone(),
+                    ds.features.clone(),
+                    weights.clone(),
+                    ds.labels.clone(),
+                );
+                let fd = feats_dims.clone();
+                let out = Cluster::new(p).run(move |ctx| {
+                    let spec = chunks.map(OverlapSpec::new);
+                    let topo = Topology::full(&adj, ctx);
+                    let mut ops = OpCounters::default();
+                    let input = input_cache(&feats, &topo, ctx);
+                    let mut art =
+                        rdm_forward_with(ctx, &topo, input, &w2, &plan, spec.as_ref(), &mut ops);
+                    let logits = art.logits_row(&topo, ctx);
+                    let mask = vec![true; labels.len()];
+                    let lspec = LossSpec {
+                        labels: &labels,
+                        mask: &mask,
+                        num_classes: 4,
+                    };
+                    let (loss, lgrad) = softmax_xent(&logits, &lspec, ctx);
+                    let back = rdm_backward_with(
+                        ctx,
+                        &topo,
+                        &mut art,
+                        &w2,
+                        &plan,
+                        lgrad,
+                        &fd,
+                        spec.as_ref(),
+                        &mut ops,
+                    );
+                    let g0 = match back.g0.dist {
+                        Dist::Row => back.g0.gather(ctx, CollectiveKind::Other),
+                        Dist::Col => topo.gather_tile(&back.g0, ctx, CollectiveKind::Other),
+                        Dist::Replicated => unreachable!(),
+                    };
+                    (loss, back.weight_grads, g0, ops)
+                });
+                runs.push(out);
+            }
+            let (blocking, overlapped) = (&runs[0], &runs[1]);
+            for (b, o) in blocking.results.iter().zip(&overlapped.results) {
+                assert_eq!(b.0.to_bits(), o.0.to_bits(), "id {id} loss drifted");
+                for (l, (gb, go)) in b.1.iter().zip(&o.1).enumerate() {
+                    assert_eq!(gb.as_slice(), go.as_slice(), "id {id} grad layer {}", l + 1);
+                }
+                assert_eq!(b.2.as_slice(), o.2.as_slice(), "id {id} g0 drifted");
+                assert_eq!(b.3.spmm_fma, o.3.spmm_fma, "id {id} spmm FMA drifted");
+                assert_eq!(b.3.gemm_fma, o.3.gemm_fma, "id {id} gemm FMA drifted");
+            }
+            for (sb, so) in blocking.stats.iter().zip(&overlapped.stats) {
+                assert_eq!(
+                    sb.bytes(CollectiveKind::Redistribute),
+                    so.bytes(CollectiveKind::Redistribute),
+                    "id {id} payload bytes drifted"
+                );
+                assert_eq!(sb.overlap_ns, 0, "blocking path must not record overlap");
+            }
+            let hidden: u64 = overlapped.stats.iter().map(|s| s.overlap_ns).sum();
+            assert!(hidden > 0, "id {id} hid no communication time");
         }
     }
 }

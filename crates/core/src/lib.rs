@@ -33,7 +33,8 @@ pub mod plan;
 pub mod saint;
 pub mod trainer;
 
-pub use dist::{Dist, DistMat};
+pub use dist::{Dist, DistMat, RedistError};
+pub use gcn::OverlapSpec;
 pub use metrics::{EpochMetrics, TrainReport};
 pub use plan::{best_plan, LayerOrder, Plan};
 pub use trainer::{train_gcn, Algo, TrainerConfig};

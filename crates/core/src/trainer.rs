@@ -5,7 +5,7 @@ use crate::adam::Adam;
 use crate::cagnet::{CagnetTrainer, CagnetVariant};
 use crate::dgcl::DgclTrainer;
 use crate::dist::{DistMat, FormCache};
-use crate::gcn::{rdm_backward, rdm_forward, GcnWeights};
+use crate::gcn::{rdm_backward_with, rdm_forward_with, GcnWeights, OverlapSpec};
 use crate::loss::{accuracy, softmax_xent, LossSpec};
 use crate::metrics::{EpochMetrics, RankEpoch, TrainReport};
 use crate::ops::{OpCounters, Topology};
@@ -60,6 +60,12 @@ pub struct TrainerConfig {
     /// or without one (the envelope protocol hides every fault); only the
     /// retransmission counters in the report change.
     pub fault_plan: Option<FaultPlan>,
+    /// Chunk count for pipelined redistribution (RDM algorithms only).
+    /// `Some(c)` with `c > 1` overlaps every Row↔Col redistribution with
+    /// its downstream kernel in `c`-strip chunks; results and payload
+    /// bytes are bit-identical to blocking, and the hidden communication
+    /// time lands in [`EpochMetrics::overlap_ns`].
+    pub overlap: Option<usize>,
 }
 
 impl TrainerConfig {
@@ -125,6 +131,7 @@ impl TrainerConfig {
             seed: 42,
             device: DeviceModel::a6000_pcie(),
             fault_plan: None,
+            overlap: None,
         }
     }
 
@@ -159,6 +166,13 @@ impl TrainerConfig {
         self
     }
 
+    /// Pipeline every RDM redistribution into `chunks` strips overlapped
+    /// with the downstream kernel.
+    pub fn overlap(mut self, chunks: usize) -> Self {
+        self.overlap = Some(chunks);
+        self
+    }
+
     /// Human-readable algorithm label for reports.
     pub fn algo_label(&self) -> String {
         match &self.algo {
@@ -190,6 +204,8 @@ struct RdmState {
     /// §IV-B dynamic selection state, when enabled.
     dynamic: Option<DynSelect>,
     device: DeviceModel,
+    /// Pipelined-redistribution depth, when enabled.
+    overlap: Option<usize>,
 }
 
 /// Measurement-driven configuration selection (§IV-B): cycle through the
@@ -260,6 +276,12 @@ impl RdmState {
             test_mask: ds.split.iter().map(|&s| s == Split::Test).collect(),
             dynamic,
             device: cfg.device,
+            // Dynamic selection scores candidates on message counts, which
+            // chunking multiplies; keep its trials on the blocking path.
+            overlap: match cfg.algo {
+                Algo::RdmDynamic { .. } => None,
+                _ => cfg.overlap,
+            },
         }
     }
 
@@ -320,7 +342,19 @@ impl RdmState {
     fn epoch(&mut self, ds: &Dataset, ctx: &RankCtx, ops: &mut OpCounters) -> (f32, f32, f32) {
         let mut input = FormCache::of_row(self.input_row.clone());
         input.put(self.input_tile.clone());
-        let mut art = rdm_forward(ctx, &self.topo, input, &self.weights, &self.plan, ops);
+        let overlap = self.overlap.map(|chunks| OverlapSpec {
+            chunks,
+            device: self.device,
+        });
+        let mut art = rdm_forward_with(
+            ctx,
+            &self.topo,
+            input,
+            &self.weights,
+            &self.plan,
+            overlap.as_ref(),
+            ops,
+        );
         let logits = art.logits_row(&self.topo, ctx);
         let spec = LossSpec {
             labels: &ds.labels,
@@ -330,7 +364,7 @@ impl RdmState {
         let (loss, lgrad) = softmax_xent(&logits, &spec, ctx);
         let train_acc = accuracy(&logits, &ds.labels, &self.train_mask, ctx);
         let test_acc = accuracy(&logits, &ds.labels, &self.test_mask, ctx);
-        let back = rdm_backward(
+        let back = rdm_backward_with(
             ctx,
             &self.topo,
             &mut art,
@@ -338,6 +372,7 @@ impl RdmState {
             &self.plan,
             lgrad,
             &self.feats,
+            overlap.as_ref(),
             ops,
         );
         self.adam.step(&mut self.weights.w, &back.weight_grads);

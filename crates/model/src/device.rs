@@ -66,6 +66,37 @@ impl DeviceModel {
         bytes / self.link_bytes_per_sec + msgs * self.msg_latency
     }
 
+    /// Cost of one layer when its redistribution is perfectly overlapped
+    /// with its kernels: `max(T_comm, T_compute)` — the `c → ∞` ideal of
+    /// the chunk pipeline.
+    pub fn overlapped_time(&self, comm_s: f64, compute_s: f64) -> f64 {
+        comm_s.max(compute_s)
+    }
+
+    /// Completion time of a `c`-stage chunk pipeline: chunk `q`'s compute
+    /// starts when chunk `q` has arrived **and** chunk `q-1`'s compute is
+    /// done (double buffering; the wire carries later chunks while earlier
+    /// ones are consumed).
+    pub fn pipelined_time(&self, comm_s: &[f64], compute_s: &[f64]) -> f64 {
+        assert_eq!(comm_s.len(), compute_s.len(), "one compute per chunk");
+        let mut arrived = 0.0f64;
+        let mut finished = 0.0f64;
+        for (c, k) in comm_s.iter().zip(compute_s) {
+            arrived += c;
+            finished = finished.max(arrived) + k;
+        }
+        finished
+    }
+
+    /// Communication time hidden by the chunk pipeline: the blocking
+    /// schedule's total (`ΣT_comm + ΣT_compute`) minus the pipelined
+    /// completion time. Bounded by `min(ΣT_comm, ΣT_compute)`; approaches
+    /// it as chunks shrink.
+    pub fn hidden_time(&self, comm_s: &[f64], compute_s: &[f64]) -> f64 {
+        let blocking: f64 = comm_s.iter().sum::<f64>() + compute_s.iter().sum::<f64>();
+        (blocking - self.pipelined_time(comm_s, compute_s)).max(0.0)
+    }
+
     /// Predicted epoch time breakdown for a *global* cost executed on `p`
     /// ranks, assuming perfect balance: each rank executes `1/p` of the
     /// compute and ships `1/p` of the communication volume.
@@ -171,6 +202,31 @@ mod tests {
             prev_speedup = speedup;
         }
         assert!(prev_speedup > 1.5, "8-GPU speedup only {prev_speedup}");
+    }
+
+    #[test]
+    fn pipeline_times_bracket_the_ideal() {
+        let d = DeviceModel::a6000_pcie();
+        // Balanced uniform chunks: hidden → (c-1)/c · min(T_comm, T_comp).
+        for c in [2usize, 4, 16] {
+            let comm: Vec<f64> = vec![1.0 / c as f64; c];
+            let comp: Vec<f64> = vec![1.0 / c as f64; c];
+            let hidden = d.hidden_time(&comm, &comp);
+            let expect = (c - 1) as f64 / c as f64;
+            assert!(
+                (hidden - expect).abs() < 1e-12,
+                "c={c}: hidden {hidden} != {expect}"
+            );
+            // Never more than the ideal overlap, and the pipelined total
+            // never beats max(T_comm, T_comp).
+            assert!(hidden <= 1.0 + 1e-12);
+            assert!(d.pipelined_time(&comm, &comp) >= d.overlapped_time(1.0, 1.0) - 1e-12);
+        }
+        // One chunk degenerates to the blocking schedule.
+        assert_eq!(d.hidden_time(&[2.0], &[3.0]), 0.0);
+        // Compute-dominated: all comm after the first chunk hides.
+        let hidden = d.hidden_time(&[0.1, 0.1], &[5.0, 5.0]);
+        assert!((hidden - 0.1).abs() < 1e-12);
     }
 
     #[test]
