@@ -1,0 +1,48 @@
+//! Cost of the structured tracer: the same RDM epoch with tracing off and
+//! on. Off must be free (the thread-local recorder is a no-op unless the
+//! cluster installs it); on pays one ring-buffer push per span edge and
+//! per payload send, drained at barriers — the harness prints the
+//! per-epoch event volume so overhead can be read as ns/event.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdm_core::{train_gcn, Plan, TrainerConfig};
+use rdm_graph::DatasetSpec;
+
+fn bench_trace(c: &mut Criterion) {
+    let ds = DatasetSpec::synthetic("trace-bench", 6_000, 120_000, 128, 16).instantiate(3);
+    let p = 4usize;
+    let base = || {
+        TrainerConfig::rdm(p, Plan::from_id(15, 2, p))
+            .hidden(128)
+            .epochs(1)
+    };
+
+    let off = train_gcn(&ds, &base()).unwrap();
+    let on = train_gcn(&ds, &base().trace()).unwrap();
+    let events: usize = on
+        .traces
+        .as_ref()
+        .unwrap()
+        .iter()
+        .map(|t| t.events.len())
+        .sum();
+    eprintln!("trace: {events} events per epoch across {p} ranks");
+    assert_eq!(
+        off.epochs[0].loss.to_bits(),
+        on.epochs[0].loss.to_bits(),
+        "bench configs diverged — tracing is supposed to be invisible"
+    );
+
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    for (label, trace) in [("off", false), ("on", true)] {
+        let cfg = if trace { base().trace() } else { base() };
+        group.bench_with_input(BenchmarkId::new(label, p), &cfg, |b, cfg| {
+            b.iter(|| train_gcn(&ds, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

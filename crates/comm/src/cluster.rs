@@ -16,9 +16,12 @@ use std::time::Instant;
 /// [`FaultPlan`] — the retrying envelope protocol still delivers everything
 /// in order, so SPMD results are unchanged while `retries` /
 /// `retransmit_bytes` show up in the returned [`CommStats`].
+/// [`Cluster::traced`] installs a per-rank `rdm_trace` recorder for the
+/// run, collecting every send/retry/span into [`RunOutput::traces`].
 pub struct Cluster {
     p: usize,
     plan: Option<FaultPlan>,
+    trace: bool,
 }
 
 /// Per-rank results of a [`Cluster::run`].
@@ -27,6 +30,9 @@ pub struct RunOutput<T> {
     pub results: Vec<T>,
     /// Communication statistics of each rank, indexed by rank.
     pub stats: Vec<CommStats>,
+    /// Structured event traces of each rank, indexed by rank; `Some` only
+    /// for [`Cluster::traced`] clusters.
+    pub traces: Option<Vec<rdm_trace::RankTrace>>,
 }
 
 impl Cluster {
@@ -36,7 +42,11 @@ impl Cluster {
     /// If `p == 0`.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "cluster needs at least one rank");
-        Cluster { p, plan: None }
+        Cluster {
+            p,
+            plan: None,
+            trace: false,
+        }
     }
 
     /// A cluster whose fabric injects the faults described by `plan`.
@@ -48,7 +58,14 @@ impl Cluster {
         Cluster {
             p,
             plan: Some(plan),
+            trace: false,
         }
+    }
+
+    /// Record a structured event trace on every rank of every run.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Number of ranks.
@@ -73,7 +90,9 @@ impl Cluster {
     {
         let fabric = Arc::new(Fabric::with_faults(self.p, self.plan));
         let barrier = Arc::new(Barrier::new(self.p));
-        let mut slots: Vec<Option<(T, CommStats)>> = (0..self.p).map(|_| None).collect();
+        let trace = self.trace;
+        type Slot<T> = Option<(T, CommStats, Option<rdm_trace::RankTrace>)>;
+        let mut slots: Vec<Slot<T>> = (0..self.p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.p);
             for (rank, slot) in slots.iter_mut().enumerate() {
@@ -81,6 +100,9 @@ impl Cluster {
                 let barrier = barrier.clone();
                 let f = &f;
                 handles.push(scope.spawn(move || {
+                    if trace {
+                        rdm_trace::install(rank);
+                    }
                     let ctx = RankCtx {
                         rank,
                         fabric,
@@ -88,7 +110,7 @@ impl Cluster {
                         stats: RefCell::new(CommStats::default()),
                     };
                     let out = f(&ctx);
-                    *slot = Some((out, ctx.stats.into_inner()));
+                    *slot = Some((out, ctx.stats.into_inner(), rdm_trace::uninstall()));
                 }));
             }
             for h in handles {
@@ -101,12 +123,18 @@ impl Cluster {
         );
         let mut results = Vec::with_capacity(self.p);
         let mut stats = Vec::with_capacity(self.p);
+        let mut traces = Vec::with_capacity(self.p);
         for s in slots {
-            let (r, st) = s.expect("rank produced no result");
+            let (r, st, tr) = s.expect("rank produced no result");
             results.push(r);
             stats.push(st);
+            traces.extend(tr);
         }
-        RunOutput { results, stats }
+        RunOutput {
+            results,
+            stats,
+            traces: trace.then_some(traces),
+        }
     }
 }
 
@@ -149,6 +177,27 @@ impl RankCtx {
             receipt.backoff_ns,
         );
         st.record_time(t0.elapsed());
+        drop(st);
+        if rdm_trace::enabled() {
+            rdm_trace::record(rdm_trace::EventData::Collective {
+                kind: kind.trace_tag(),
+                peer: dst,
+                bytes: receipt.bytes,
+                msg_seq: receipt.seq,
+            });
+            // One Retry instant per injected drop; attempt k's backoff is
+            // `base << k`, so per-send sums reproduce the receipt exactly.
+            let base = self.fabric.fault_plan().map_or(0, |p| p.backoff_base_ns);
+            for attempt in 0..receipt.retries {
+                rdm_trace::record(rdm_trace::EventData::Retry {
+                    peer: dst,
+                    msg_seq: receipt.seq,
+                    attempt,
+                    bytes: receipt.bytes,
+                    backoff_ns: base << attempt,
+                });
+            }
+        }
     }
 
     /// Blocking point-to-point receive from `src`.
@@ -189,8 +238,10 @@ impl RankCtx {
         self.stats.borrow_mut().record_overlap(ns);
     }
 
-    /// Block until every rank reaches the barrier.
+    /// Block until every rank reaches the barrier. Barriers are the
+    /// trace's drain points: the rank's event ring is flushed here.
     pub fn barrier(&self) {
+        rdm_trace::flush();
         let t0 = Instant::now();
         self.barrier.wait();
         self.stats.borrow_mut().record_time(t0.elapsed());

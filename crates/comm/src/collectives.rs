@@ -20,6 +20,7 @@
 use crate::cluster::{PendingRecv, RankCtx};
 use crate::stats::CollectiveKind;
 use rdm_dense::{add_assign, hstack, part_range, vstack, Mat};
+use rdm_trace::{Form, Span};
 
 /// Axis along which [`RankCtx::group_all_to_all_chunked`] splits each peer
 /// block into pipeline chunks.
@@ -195,6 +196,18 @@ impl RankCtx {
             "all_to_all needs one part per group member"
         );
         assert!(chunks > 0, "need at least one chunk");
+        // The whole pipeline is one redistribution span, held open until
+        // the last chunk is drained (the pipeline's drop).
+        let (from, to) = match axis {
+            ChunkAxis::Cols => (Form::Row, Form::Col),
+            ChunkAxis::Rows => (Form::Col, Form::Row),
+        };
+        let span = rdm_trace::span(Span::Redistribute {
+            from,
+            to,
+            chunks,
+            kind: kind.trace_tag(),
+        });
         let my_idx = self.group_index(group);
         let my_part = std::mem::replace(&mut parts[my_idx], Mat::zeros(0, 0));
         for q in 0..chunks {
@@ -212,6 +225,7 @@ impl RankCtx {
             axis,
             chunks,
             next: 0,
+            _span: span,
         }
     }
 
@@ -265,6 +279,11 @@ impl RankCtx {
     /// [`RankCtx::all_reduce_sum`] numerically up to FP reassociation.
     pub fn all_reduce_ring(&self, mat: Mat, kind: CollectiveKind) -> Mat {
         let p = self.size();
+        // Span opens before the P=1 early return so the traced schedule
+        // shape is independent of the cluster size.
+        let _span = rdm_trace::span(Span::AllReduce {
+            elems: mat.rows() * mat.cols(),
+        });
         if p == 1 {
             return mat;
         }
@@ -348,6 +367,12 @@ impl RankCtx {
         local: &Mat,
         kind: CollectiveKind,
     ) -> Mat {
+        let _span = rdm_trace::span(Span::Redistribute {
+            from: Form::Row,
+            to: Form::Col,
+            chunks: 1,
+            kind: kind.trace_tag(),
+        });
         let g = group.len();
         let parts = rdm_dense::split_cols(local, g);
         let received = self.group_all_to_all(group, parts, kind);
@@ -369,6 +394,12 @@ impl RankCtx {
         local: &Mat,
         kind: CollectiveKind,
     ) -> Mat {
+        let _span = rdm_trace::span(Span::Redistribute {
+            from: Form::Col,
+            to: Form::Row,
+            chunks: 1,
+            kind: kind.trace_tag(),
+        });
         let g = group.len();
         let parts = rdm_dense::split_rows(local, g);
         let received = self.group_all_to_all(group, parts, kind);
@@ -391,6 +422,9 @@ pub struct ChunkedAllToAll<'g> {
     axis: ChunkAxis,
     chunks: usize,
     next: usize,
+    /// Keeps the redistribution span open until the pipeline is dropped,
+    /// so overlapped strip compute is recorded *inside* the span.
+    _span: rdm_trace::SpanGuard,
 }
 
 impl ChunkedAllToAll<'_> {

@@ -119,6 +119,8 @@ pub struct SendReceipt {
     /// Modeled exponential-backoff wait accumulated by the retries,
     /// nanoseconds of virtual time.
     pub backoff_ns: u64,
+    /// The per-link sequence number this send occupied on the wire.
+    pub seq: u64,
 }
 
 /// All `P × P` pairwise links, shared read-only between rank threads.
@@ -210,6 +212,7 @@ impl Fabric {
             retries: resolution.retries,
             retransmit_bytes: resolution.retries as u64 * bytes as u64,
             backoff_ns: resolution.backoff_ns,
+            seq,
         }
     }
 

@@ -38,6 +38,22 @@ impl CollectiveKind {
         CollectiveKind::Eval,
         CollectiveKind::Other,
     ];
+
+    /// The `rdm_trace` tag mirroring this kind (the trace crate carries no
+    /// dependency on this one, so the tag enum lives there).
+    pub fn trace_tag(self) -> rdm_trace::TraceCollective {
+        use rdm_trace::TraceCollective as T;
+        match self {
+            CollectiveKind::Redistribute => T::Redistribute,
+            CollectiveKind::Broadcast => T::Broadcast,
+            CollectiveKind::AllReduce => T::AllReduce,
+            CollectiveKind::AllGather => T::AllGather,
+            CollectiveKind::Halo => T::Halo,
+            CollectiveKind::Sampling => T::Sampling,
+            CollectiveKind::Eval => T::Eval,
+            CollectiveKind::Other => T::Other,
+        }
+    }
 }
 
 /// Per-rank communication statistics.
@@ -226,6 +242,68 @@ mod tests {
 
         let d = merged.delta_since(&s);
         assert_eq!(d.overlap_ns, 500);
+    }
+
+    #[test]
+    fn delta_since_saturates_on_every_counter() {
+        // An "earlier" snapshot that is ahead of `now` on every single
+        // counter: each subtraction must clamp to zero independently.
+        let mut ahead = CommStats::default();
+        ahead.record_send(CollectiveKind::Redistribute, 1_000);
+        ahead.record_send(CollectiveKind::Redistribute, 1_000);
+        ahead.record_time(Duration::from_millis(80));
+        ahead.record_retransmits(9, 9_000, 90_000);
+        ahead.record_overlap(70_000);
+
+        let mut now = CommStats::default();
+        now.record_send(CollectiveKind::Redistribute, 300);
+        now.record_time(Duration::from_millis(2));
+        now.record_retransmits(1, 100, 1_000);
+        now.record_overlap(500);
+
+        let d = now.delta_since(&ahead);
+        assert_eq!(d.bytes(CollectiveKind::Redistribute), 0);
+        assert_eq!(d.messages(CollectiveKind::Redistribute), 0);
+        assert_eq!(d.comm_time, Duration::ZERO);
+        assert_eq!(d.retries, 0);
+        assert_eq!(d.retransmit_bytes, 0);
+        assert_eq!(d.backoff_ns, 0);
+        assert_eq!(d.overlap_ns, 0);
+        assert_eq!(d.total_bytes(), 0);
+        assert_eq!(d.total_messages(), 0);
+    }
+
+    #[test]
+    fn delta_since_saturates_per_counter_not_jointly() {
+        // Mixed directions: counters ahead of the baseline subtract
+        // normally while counters behind it clamp, in the same call.
+        let mut base = CommStats::default();
+        base.record_retransmits(5, 500, 5_000);
+        base.record_overlap(100);
+
+        let mut now = CommStats::default();
+        now.record_send(CollectiveKind::AllReduce, 64);
+        now.record_retransmits(7, 300, 9_000); // retries/backoff ahead, bytes behind
+        now.record_overlap(40); // behind
+
+        let d = now.delta_since(&base);
+        assert_eq!(d.bytes(CollectiveKind::AllReduce), 64);
+        assert_eq!(d.retries, 2);
+        assert_eq!(d.retransmit_bytes, 0);
+        assert_eq!(d.backoff_ns, 4_000);
+        assert_eq!(d.overlap_ns, 0);
+    }
+
+    #[test]
+    fn delta_since_ignores_kinds_only_in_baseline() {
+        // A kind present only in the baseline never shows up (let alone
+        // underflows) in the delta.
+        let mut base = CommStats::default();
+        base.record_send(CollectiveKind::Halo, 128);
+        let now = CommStats::default();
+        let d = now.delta_since(&base);
+        assert_eq!(d.bytes(CollectiveKind::Halo), 0);
+        assert_eq!(d.total_messages(), 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::plan::Plan;
 use rdm_comm::{CollectiveKind, RankCtx};
 use rdm_dense::{gemm, gemm_nt, hstack, part_range, relu, relu_backward, vstack, Mat};
 use rdm_model::{DeviceModel, Order};
+use rdm_trace::Span;
 
 /// Settings of the pipelined (overlapped) execution path, threaded through
 /// [`rdm_forward_with`] / [`rdm_backward_with`].
@@ -153,11 +154,12 @@ fn spmm_via_col(
             Dist::Col,
             CollectiveKind::Redistribute,
             spec.chunks,
-            |_, strip| {
+            |q, strip| {
                 strips.push(rdm_sparse::spmm(panel, strip));
                 let fma = panel.nnz() as f64 * strip.cols() as f64;
                 ops.spmm_fma += fma;
                 comp_s.push(spec.device.compute_time(fma, 0.0));
+                record_strip(spec, q, &comm_s, &comp_s);
             },
         )
         .expect("Row->Col is always pipelined");
@@ -168,8 +170,35 @@ fn spmm_via_col(
         cols: col.cols,
         local: hstack(&strips),
     };
+    // An aggregate kernel span equal to the blocking path's, so the traced
+    // schedule is identical whether or not the pipeline ran (the per-strip
+    // work already appeared as OverlapStrip instants inside the
+    // redistribution span).
+    drop(rdm_trace::span(Span::Spmm {
+        rows: panel.rows(),
+        cols: out.local.cols(),
+        nnz: panel.nnz(),
+    }));
     cache.put(col);
     out
+}
+
+/// Emit one `OverlapStrip` instant for pipeline strip `q`: the modeled
+/// time this strip's compute can hide of the *next* strip's communication
+/// (zero for the last strip — nothing is left in flight behind it).
+fn record_strip(spec: &OverlapSpec, q: usize, comm_s: &[f64], comp_s: &[f64]) {
+    if !rdm_trace::enabled() {
+        return;
+    }
+    let hidden = if q + 1 < spec.chunks {
+        comp_s[q].min(comm_s[q + 1])
+    } else {
+        0.0
+    };
+    rdm_trace::record(rdm_trace::EventData::OverlapStrip {
+        idx: q,
+        hidden_ns: (hidden * 1e9) as u64,
+    });
 }
 
 /// `(row form of cache)·W` (or `·Wᵀ`) — the dense product fed by a
@@ -211,7 +240,7 @@ fn gemm_via_row(
             Dist::Row,
             CollectiveKind::Redistribute,
             spec.chunks,
-            |_, strip| {
+            |q, strip| {
                 strips.push(if transpose_w {
                     gemm_nt(strip, w)
                 } else {
@@ -220,6 +249,7 @@ fn gemm_via_row(
                 let fma = strip.rows() as f64 * w.rows() as f64 * w.cols() as f64;
                 ops.gemm_fma += fma;
                 comp_s.push(spec.device.compute_time(0.0, fma));
+                record_strip(spec, q, &comm_s, &comp_s);
             },
         )
         .expect("Col->Row is always pipelined");
@@ -230,6 +260,12 @@ fn gemm_via_row(
         cols: if transpose_w { w.rows() } else { w.cols() },
         local: vstack(&strips),
     };
+    // Aggregate kernel span mirroring the blocking `dist_gemm{,_nt}` span.
+    drop(rdm_trace::span(Span::Gemm {
+        m: out.local.rows(),
+        n: if transpose_w { w.rows() } else { w.cols() },
+        k: if transpose_w { w.cols() } else { w.rows() },
+    }));
     cache.put(row);
     out
 }

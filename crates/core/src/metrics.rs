@@ -150,6 +150,11 @@ pub struct TrainReport {
     pub dataset: String,
     pub p: usize,
     pub epochs: Vec<EpochMetrics>,
+    /// Per-rank structured event traces, when the run was configured with
+    /// `TrainerConfig::trace()`. Export with
+    /// `rdm_trace::chrome::to_chrome_json`, or check against the model's
+    /// predicted schedule with `rdm_model::conformance`.
+    pub traces: Option<Vec<rdm_trace::RankTrace>>,
 }
 
 impl TrainReport {
@@ -255,6 +260,7 @@ mod tests {
             dataset: "toy".into(),
             p: 1,
             epochs: vec![e1, e2],
+            traces: None,
         };
         assert!((r.mean_wall_epoch_s() - 0.015).abs() < 1e-9);
         assert_eq!(r.mean_bytes_per_epoch(), 200.0);

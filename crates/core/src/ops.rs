@@ -10,6 +10,7 @@ use crate::dist::{Dist, DistMat};
 use rdm_comm::{CollectiveKind, RankCtx};
 use rdm_dense::{gemm, gemm_nt, gemm_tn, Mat};
 use rdm_sparse::{spmm, Csr};
+use rdm_trace::Span;
 
 /// Per-rank FMA counters, split the way the device model prices them.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -60,6 +61,11 @@ pub fn dist_spmm(adj: &Csr, input: &DistMat, ops: &mut OpCounters) -> DistMat {
 pub fn dist_gemm(input: &DistMat, w: &Mat, ops: &mut OpCounters) -> DistMat {
     assert_eq!(input.dist, Dist::Row, "dist_gemm needs a row-sliced input");
     assert_eq!(input.cols, w.rows(), "dist_gemm shape mismatch");
+    let _span = rdm_trace::span(Span::Gemm {
+        m: input.local.rows(),
+        n: w.cols(),
+        k: w.rows(),
+    });
     let local = gemm(&input.local, w);
     ops.gemm_fma += input.local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
     DistMat {
@@ -79,6 +85,11 @@ pub fn dist_gemm_nt(input: &DistMat, w: &Mat, ops: &mut OpCounters) -> DistMat {
         "dist_gemm_nt needs a row-sliced input"
     );
     assert_eq!(input.cols, w.cols(), "dist_gemm_nt shape mismatch");
+    let _span = rdm_trace::span(Span::Gemm {
+        m: input.local.rows(),
+        n: w.rows(),
+        k: w.cols(),
+    });
     let local = gemm_nt(&input.local, w);
     ops.gemm_fma += input.local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
     DistMat {
@@ -101,6 +112,11 @@ pub fn weight_grad(a: &DistMat, b: &DistMat, ctx: &RankCtx, ops: &mut OpCounters
         b.local.rows(),
         "weight_grad: local row blocks differ"
     );
+    let _span = rdm_trace::span(Span::Gemm {
+        m: a.cols,
+        n: b.cols,
+        k: a.local.rows(),
+    });
     let partial = gemm_tn(&a.local, &b.local);
     ops.gemm_fma += a.local.rows() as f64 * a.cols as f64 * b.cols as f64;
     // Ring all-reduce: 2·(P-1)/P·|Y| per rank, the NCCL-style
@@ -370,6 +386,11 @@ impl Topology {
     ) -> DistMat {
         assert_eq!(input.dist, Dist::Col, "topology spmm needs the tile layout");
         assert_eq!(self.n, input.rows, "vertex count mismatch");
+        let _span = rdm_trace::span(Span::Spmm {
+            rows: panel.rows(),
+            cols: input.local.cols(),
+            nnz: panel.nnz(),
+        });
         let local = match &self.mask {
             None => panel_spmm(self.grid, panel, &input.local, self.n, input.cols, ctx, ops),
             Some(mask) => {

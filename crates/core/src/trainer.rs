@@ -66,6 +66,11 @@ pub struct TrainerConfig {
     /// bytes are bit-identical to blocking, and the hidden communication
     /// time lands in [`EpochMetrics::overlap_ns`].
     pub overlap: Option<usize>,
+    /// Record a per-rank structured event trace of the run into
+    /// [`TrainReport::traces`]. Off by default; when off, no trace code
+    /// runs beyond a thread-local check, so results, payload counters and
+    /// simulated epoch times are bit-identical to a build without tracing.
+    pub trace: bool,
 }
 
 impl TrainerConfig {
@@ -132,6 +137,7 @@ impl TrainerConfig {
             device: DeviceModel::a6000_pcie(),
             fault_plan: None,
             overlap: None,
+            trace: false,
         }
     }
 
@@ -170,6 +176,13 @@ impl TrainerConfig {
     /// with the downstream kernel.
     pub fn overlap(mut self, chunks: usize) -> Self {
         self.overlap = Some(chunks);
+        self
+    }
+
+    /// Record a per-rank structured event trace into
+    /// [`TrainReport::traces`].
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -441,10 +454,13 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         _ => None,
     };
 
-    let cluster = match cfg.fault_plan {
+    let mut cluster = match cfg.fault_plan {
         Some(plan) => Cluster::with_faults(cfg.p, plan),
         None => Cluster::new(cfg.p),
     };
+    if cfg.trace {
+        cluster = cluster.traced();
+    }
     let out = cluster.run(|ctx| {
         enum State {
             Rdm(Box<RdmState>),
@@ -505,8 +521,12 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         };
         let mut epochs = Vec::with_capacity(cfg.epochs);
         let mut prev_stats = ctx.stats_snapshot();
-        for _ in 0..cfg.epochs {
+        for epoch_idx in 0..cfg.epochs {
             ctx.barrier();
+            // The epoch span covers exactly the training work between the
+            // barriers; the dynamic-selection all-reduce and the stats
+            // bookkeeping after the closing barrier stay outside it.
+            let epoch_span = rdm_trace::span(rdm_trace::Span::Epoch { idx: epoch_idx });
             let t0 = Instant::now();
             let mut ops = OpCounters::default();
             if let State::Rdm(s) = &mut state {
@@ -524,6 +544,7 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
                 State::SaintDdp(s) => s.epoch(ctx, &mut ops),
                 State::SaintMasked(s) => s.epoch(ctx, &mut ops),
             };
+            drop(epoch_span);
             ctx.barrier();
             let wall = t0.elapsed();
             let now = ctx.stats_snapshot();
@@ -566,6 +587,7 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         dataset: ds.spec.name.clone(),
         p: cfg.p,
         epochs,
+        traces: out.traces,
     })
 }
 

@@ -1,0 +1,833 @@
+//! Schedule conformance: diff a recorded per-rank trace against the
+//! event sequence the model predicts for a plan.
+//!
+//! [`predict_epoch`] expands an ordering ([`OrderConfig`] + memoization
+//! flag) into the exact per-rank sequence of schedule-level events one
+//! training epoch must produce — redistribution directions and payload
+//! bytes, SpMM/GEMM kernel shapes, weight-gradient ring all-reduce bytes —
+//! by symbolically executing the same lazy [`FormCache`] logic as the GCN
+//! engine. [`extract_epoch`] reduces a recorded `rdm_trace::RankTrace` to
+//! the same event vocabulary, and [`check_run`] diffs the two, reporting
+//! every mismatch with its rank, epoch and event index.
+//!
+//! Scope: the predictor covers the full-replication regime the paper's
+//! Table IV prices (`R_A = P`, no edge mask, symmetric or asymmetric
+//! adjacency — panel shapes are identical either way). Traffic the
+//! schedule does not price (loss/accuracy scalar all-reduces, dynamic
+//! selection) appears in traces as bare `Collective` events outside any
+//! span and is ignored by the extractor.
+//!
+//! The extractor is insensitive to pipelining: the chunk-pipelined
+//! redistribution path opens the same `Redistribute` span (with its
+//! per-strip `OverlapStrip` instants inside) and emits the same aggregate
+//! kernel span afterwards, so a blocking and an overlapped run of the same
+//! plan extract to identical schedules.
+
+use crate::config::{Order, OrderConfig};
+use crate::cost::GnnShape;
+use rdm_trace::{EventData, Form, RankTrace, Span, TraceCollective};
+use std::fmt;
+
+/// Length of rank `r`'s slice of `n` items over `p` ranks — the exact
+/// balanced partition the runtime uses (`rdm_dense::part_range`, inlined
+/// here so the model crate stays dependency-free of the dense kernels).
+fn part_len(n: usize, p: usize, r: usize) -> usize {
+    let base = n / p;
+    let extra = n % p;
+    base + usize::from(r < extra)
+}
+
+/// One schedule-level event: what the plan predicts and what a trace
+/// reduces to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A Row↔Col redistribution; `bytes` is this rank's send-side payload.
+    Redist {
+        from: Form,
+        to: Form,
+        kind: TraceCollective,
+        bytes: u64,
+    },
+    /// A distributed SpMM over the full adjacency panel.
+    Spmm {
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+    },
+    /// A distributed GEMM (`m×k · k×n`).
+    Gemm { m: usize, n: usize, k: usize },
+    /// A weight-gradient ring all-reduce; `bytes` is this rank's
+    /// send-side volume (zero at `P = 1`).
+    AllReduce { bytes: u64 },
+}
+
+impl fmt::Display for SchedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedEvent::Redist {
+                from,
+                to,
+                kind,
+                bytes,
+            } => write!(
+                f,
+                "redist {}->{} kind={} {bytes}B",
+                from.name(),
+                to.name(),
+                kind.name()
+            ),
+            SchedEvent::Spmm { rows, cols, nnz } => {
+                write!(f, "spmm {rows}x{cols} nnz={nnz}")
+            }
+            SchedEvent::Gemm { m, n, k } => write!(f, "gemm {m}x{k}.{k}x{n}"),
+            SchedEvent::AllReduce { bytes } => write!(f, "allreduce {bytes}B"),
+        }
+    }
+}
+
+/// One schedule mismatch: the trace of `rank` diverged from the predicted
+/// sequence at `index` within `epoch`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub rank: usize,
+    pub epoch: usize,
+    /// Position in the per-epoch schedule where prediction and trace
+    /// diverge.
+    pub index: usize,
+    /// What the model predicted at this position (`None`: trace has extra
+    /// trailing events).
+    pub expected: Option<SchedEvent>,
+    /// What the trace recorded (`None`: trace ended early).
+    pub got: Option<SchedEvent>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} epoch {} event {}: ",
+            self.rank, self.epoch, self.index
+        )?;
+        match (&self.expected, &self.got) {
+            (Some(e), Some(g)) => write!(f, "expected {e}, got {g}"),
+            (Some(e), None) => write!(f, "expected {e}, but the trace ended"),
+            (None, Some(g)) => write!(f, "unexpected trailing event {g}"),
+            (None, None) => write!(f, "internal: empty diff"),
+        }
+    }
+}
+
+/// Symbolic mirror of the engine's `FormCache`: which layouts of one
+/// logical tensor exist, without the data.
+#[derive(Clone, Copy, Debug)]
+struct SymCache {
+    has_row: bool,
+    has_col: bool,
+}
+
+impl SymCache {
+    fn of_row() -> Self {
+        SymCache {
+            has_row: true,
+            has_col: false,
+        }
+    }
+    fn of_col() -> Self {
+        SymCache {
+            has_row: false,
+            has_col: true,
+        }
+    }
+    fn both() -> Self {
+        SymCache {
+            has_row: true,
+            has_col: true,
+        }
+    }
+}
+
+/// The symbolic engine: replays the GCN engine's control flow, emitting
+/// [`SchedEvent`]s instead of computing.
+struct Predictor<'a> {
+    shape: &'a GnnShape,
+    p: usize,
+    rank: usize,
+    events: Vec<SchedEvent>,
+}
+
+impl Predictor<'_> {
+    /// Rows of this rank's row slice of the `n`-vertex dense matrices.
+    fn rows_r(&self) -> usize {
+        part_len(self.shape.n, self.p, self.rank)
+    }
+
+    /// Columns of this rank's column slice of a width-`f` matrix.
+    fn cols_r(&self, f: usize) -> usize {
+        part_len(f, self.p, self.rank)
+    }
+
+    /// Send-side bytes of a Row→Col redistribution of an `n × f` matrix:
+    /// this rank ships every column it does not keep from its row slice.
+    fn row_to_col_bytes(&self, f: usize) -> u64 {
+        (self.rows_r() * (f - self.cols_r(f)) * 4) as u64
+    }
+
+    /// Send-side bytes of a Col→Row redistribution: every row it does not
+    /// keep from its column slice.
+    fn col_to_row_bytes(&self, f: usize) -> u64 {
+        ((self.shape.n - self.rows_r()) * self.cols_r(f) * 4) as u64
+    }
+
+    /// Send-side bytes of the ring all-reduce of an `rows × cols` matrix:
+    /// reduce-scatter then all-gather, each `p-1` sends of row chunks
+    /// walking backwards around the ring from this rank's position.
+    fn ring_bytes(&self, rows: usize, cols: usize) -> u64 {
+        let p = self.p;
+        if p == 1 {
+            return 0;
+        }
+        let me = self.rank;
+        let mut elems = 0usize;
+        for s in 0..p - 1 {
+            // Reduce-scatter step `s` sends chunk `(me - s) mod p`.
+            elems += part_len(rows, p, (me + p - s) % p) * cols;
+        }
+        for t in 0..p - 1 {
+            // All-gather send `t` forwards chunk `(me + 1 - t) mod p`.
+            elems += part_len(rows, p, (me + 1 + p - t) % p) * cols;
+        }
+        (elems * 4) as u64
+    }
+
+    fn redist(&mut self, from: Form, to: Form, kind: TraceCollective, f: usize) {
+        let bytes = match from {
+            Form::Row => self.row_to_col_bytes(f),
+            Form::Col => self.col_to_row_bytes(f),
+        };
+        self.events.push(SchedEvent::Redist {
+            from,
+            to,
+            kind,
+            bytes,
+        });
+    }
+
+    /// `FormCache::require_row` on a width-`f` tensor.
+    fn require_row(&mut self, cache: &mut SymCache, f: usize, kind: TraceCollective) {
+        if !cache.has_row {
+            self.redist(Form::Col, Form::Row, kind, f);
+            cache.has_row = true;
+        }
+    }
+
+    /// `FormCache::require_col` on a width-`f` tensor.
+    fn require_col(&mut self, cache: &mut SymCache, f: usize, kind: TraceCollective) {
+        if !cache.has_col {
+            self.redist(Form::Row, Form::Col, kind, f);
+            cache.has_col = true;
+        }
+    }
+
+    /// One panel SpMM on a width-`f` tile input. At `R_A = P` the panel is
+    /// the whole adjacency, so the span shape is a pure function of the
+    /// graph shape.
+    fn spmm(&mut self, f: usize) {
+        self.events.push(SchedEvent::Spmm {
+            rows: self.shape.n,
+            cols: self.cols_r(f),
+            nnz: self.shape.nnz,
+        });
+    }
+
+    /// One row-sliced GEMM taking width `f_from` to width `f_to`.
+    fn gemm(&mut self, f_from: usize, f_to: usize) {
+        self.events.push(SchedEvent::Gemm {
+            m: self.rows_r(),
+            n: f_to,
+            k: f_from,
+        });
+    }
+
+    /// The engine's `spmm_via_col`: redistribute to the tile form if
+    /// missing, aggregate, cache the tile form.
+    fn spmm_via_col(&mut self, cache: &mut SymCache, f: usize) {
+        self.require_col(cache, f, TraceCollective::Redistribute);
+        self.spmm(f);
+    }
+
+    /// The engine's `gemm_via_row`: redistribute to the row form if
+    /// missing, multiply by the (possibly transposed) weight.
+    fn gemm_via_row(&mut self, cache: &mut SymCache, f_from: usize, f_to: usize) {
+        self.require_row(cache, f_from, TraceCollective::Redistribute);
+        self.gemm(f_from, f_to);
+    }
+
+    /// The engine's `weight_grad` on width-`f_a` / width-`f_b` row-sliced
+    /// operands: a local `f_a × f_b` partial product plus its ring
+    /// all-reduce (nested inside the GEMM span, so the GEMM event comes
+    /// first).
+    fn weight_grad(&mut self, f_a: usize, f_b: usize) {
+        self.events.push(SchedEvent::Gemm {
+            m: f_a,
+            n: f_b,
+            k: self.rows_r(),
+        });
+        let bytes = self.ring_bytes(f_a, f_b);
+        self.events.push(SchedEvent::AllReduce { bytes });
+    }
+}
+
+/// Predict the schedule-level event sequence rank `rank` of `p` produces
+/// during one training epoch of `config` on `shape` (full replication,
+/// no edge mask). Every epoch of a fixed-plan run produces this same
+/// sequence: the engine rebuilds its layout caches from the (dual-form)
+/// input every epoch.
+pub fn predict_epoch(
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    p: usize,
+    rank: usize,
+) -> Vec<SchedEvent> {
+    let layers = config.layers();
+    assert_eq!(
+        shape.feats.len(),
+        layers + 1,
+        "shape has {} widths but the config has {layers} layers",
+        shape.feats.len()
+    );
+    assert!(rank < p, "rank {rank} out of range for P={p}");
+    let feats = &shape.feats;
+    let mut pr = Predictor {
+        shape,
+        p,
+        rank,
+        events: Vec::new(),
+    };
+
+    // ---- forward ----
+    // h[l] mirrors the engine's per-layer FormCache; the input holds both
+    // layouts (the initial distribution is free).
+    let mut h: Vec<SymCache> = Vec::with_capacity(layers + 1);
+    h.push(SymCache::both());
+    let mut t_fwd: Vec<bool> = vec![false; layers];
+    for l in 1..=layers {
+        let (f_in, f_out) = (feats[l - 1], feats[l]);
+        let out = match config.forward[l - 1] {
+            Order::SpmmFirst => {
+                pr.spmm_via_col(&mut h[l - 1], f_in);
+                let mut tc = SymCache::of_col();
+                pr.gemm_via_row(&mut tc, f_in, f_out);
+                if memoize {
+                    t_fwd[l - 1] = true;
+                }
+                SymCache::of_row()
+            }
+            Order::GemmFirst => {
+                pr.gemm_via_row(&mut h[l - 1], f_in, f_out);
+                let mut ttc = SymCache::of_row();
+                pr.spmm_via_col(&mut ttc, f_out);
+                SymCache::of_col()
+            }
+        };
+        h.push(out);
+    }
+    // The loss boundary: logits must be row-sliced.
+    pr.require_row(&mut h[layers], feats[layers], TraceCollective::Redistribute);
+
+    // ---- backward ----
+    // The loss gradient arrives row-sliced with the logits' width.
+    let mut g = SymCache::of_row();
+    for l in (1..=layers).rev() {
+        let (f_in, f_out) = (feats[l - 1], feats[l]);
+        // Stage 1: propagate through aggregation + weights.
+        let t_b_row = match config.backward[l - 1] {
+            Order::SpmmFirst => {
+                pr.spmm_via_col(&mut g, f_out);
+                let mut tc = SymCache::of_col();
+                pr.gemm_via_row(&mut tc, f_out, f_in);
+                true
+            }
+            Order::GemmFirst => {
+                pr.gemm_via_row(&mut g, f_out, f_in);
+                let mut ttc = SymCache::of_row();
+                pr.spmm_via_col(&mut ttc, f_in);
+                false
+            }
+        };
+        // Stage 2: the weight gradient, choosing the engine's cheapest
+        // valid product.
+        if t_b_row {
+            if h[l - 1].has_row {
+                pr.weight_grad(f_in, f_out);
+            } else if t_fwd[l - 1] && g.has_row {
+                // Memoized forward intermediate stands in; its row form
+                // always exists, so the access is free.
+                pr.weight_grad(f_in, f_out);
+            } else {
+                pr.require_row(&mut h[l - 1], f_in, TraceCollective::Redistribute);
+                pr.weight_grad(f_in, f_out);
+            }
+        } else if t_fwd[l - 1] {
+            pr.weight_grad(f_in, f_out);
+        } else if f_out <= f_in {
+            // Non-memoized: recompute T = Â·Gˡ (the cheaper width).
+            pr.require_col(&mut g, f_out, TraceCollective::Redistribute);
+            pr.spmm(f_out);
+            pr.redist(Form::Col, Form::Row, TraceCollective::Redistribute, f_out);
+            pr.require_row(&mut h[l - 1], f_in, TraceCollective::Redistribute);
+            pr.weight_grad(f_in, f_out);
+        } else {
+            // Non-memoized: recompute T = Â·H^{l-1}.
+            pr.require_col(&mut h[l - 1], f_in, TraceCollective::Redistribute);
+            pr.spmm(f_in);
+            pr.redist(Form::Col, Form::Row, TraceCollective::Redistribute, f_in);
+            pr.weight_grad(f_in, f_out);
+        }
+        // Stage 3: ReLU-mask alignment (not priced by Table IV, hence
+        // tagged Other), then hand the gradient down.
+        if l > 1 {
+            if t_b_row {
+                pr.require_row(&mut h[l - 1], f_in, TraceCollective::Other);
+                g = SymCache::of_row();
+            } else {
+                pr.require_col(&mut h[l - 1], f_in, TraceCollective::Other);
+                g = SymCache::of_col();
+            }
+        }
+    }
+    pr.events
+}
+
+/// Reduce one rank's recorded trace to the schedule-level events of epoch
+/// `epoch`. Bare `Collective` sends outside a redistribution/all-reduce
+/// span (loss and accuracy scalar reductions, dynamic-selection traffic)
+/// are ignored, as are `Retry` and `OverlapStrip` instants.
+///
+/// # Errors
+/// If the trace is malformed (unbalanced spans) or never enters epoch
+/// `epoch`.
+pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>, String> {
+    enum Frame {
+        Epoch {
+            ours: bool,
+        },
+        Redist {
+            from: Form,
+            to: Form,
+            kind: TraceCollective,
+            bytes: u64,
+        },
+        AllReduce {
+            bytes: u64,
+        },
+        Other,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut out = Vec::new();
+    let mut in_epoch = false;
+    let mut found = false;
+    for (i, e) in trace.events.iter().enumerate() {
+        match e.data {
+            EventData::Begin(span) => {
+                let frame = match span {
+                    Span::Epoch { idx } => {
+                        let ours = idx == epoch;
+                        if ours {
+                            in_epoch = true;
+                            found = true;
+                        }
+                        Frame::Epoch { ours }
+                    }
+                    Span::Redistribute { from, to, kind, .. } if in_epoch => Frame::Redist {
+                        from,
+                        to,
+                        kind,
+                        bytes: 0,
+                    },
+                    Span::AllReduce { .. } if in_epoch => Frame::AllReduce { bytes: 0 },
+                    Span::Spmm { rows, cols, nnz } => {
+                        if in_epoch {
+                            out.push(SchedEvent::Spmm { rows, cols, nnz });
+                        }
+                        Frame::Other
+                    }
+                    Span::Gemm { m, n, k } => {
+                        if in_epoch {
+                            out.push(SchedEvent::Gemm { m, n, k });
+                        }
+                        Frame::Other
+                    }
+                    _ => Frame::Other,
+                };
+                stack.push(frame);
+            }
+            EventData::End => {
+                let frame = stack.pop().ok_or_else(|| {
+                    format!("rank {} event {i}: End with no open span", trace.rank)
+                })?;
+                match frame {
+                    Frame::Epoch { ours } => {
+                        if ours {
+                            in_epoch = false;
+                        }
+                    }
+                    Frame::Redist {
+                        from,
+                        to,
+                        kind,
+                        bytes,
+                    } => out.push(SchedEvent::Redist {
+                        from,
+                        to,
+                        kind,
+                        bytes,
+                    }),
+                    Frame::AllReduce { bytes } => out.push(SchedEvent::AllReduce { bytes }),
+                    Frame::Other => {}
+                }
+            }
+            EventData::Collective { bytes, .. } => {
+                // Payload attribution: only sends issued directly inside a
+                // redistribution or all-reduce span belong to the
+                // schedule; anything else (loss/accuracy scalar
+                // reductions) is unpriced traffic.
+                match stack.last_mut() {
+                    Some(Frame::Redist { bytes: b, .. }) | Some(Frame::AllReduce { bytes: b }) => {
+                        *b += bytes as u64;
+                    }
+                    _ => {}
+                }
+            }
+            EventData::Retry { .. } | EventData::OverlapStrip { .. } => {}
+        }
+    }
+    if !stack.is_empty() {
+        return Err(format!(
+            "rank {}: {} span(s) left open at end of trace",
+            trace.rank,
+            stack.len()
+        ));
+    }
+    if !found {
+        return Err(format!(
+            "rank {}: trace contains no epoch {epoch}",
+            trace.rank
+        ));
+    }
+    Ok(out)
+}
+
+/// Elementwise diff of a predicted and an extracted schedule.
+fn diff(rank: usize, epoch: usize, expected: &[SchedEvent], got: &[SchedEvent]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for i in 0..expected.len().max(got.len()) {
+        let (e, g) = (expected.get(i).copied(), got.get(i).copied());
+        if e != g {
+            v.push(Violation {
+                rank,
+                epoch,
+                index: i,
+                expected: e,
+                got: g,
+            });
+        }
+    }
+    v
+}
+
+/// Check one rank's trace of one epoch against the model's prediction.
+///
+/// # Errors
+/// If the trace is structurally malformed (see [`extract_epoch`]).
+pub fn check_epoch(
+    trace: &RankTrace,
+    epoch: usize,
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    p: usize,
+) -> Result<Vec<Violation>, String> {
+    trace.validate_nesting()?;
+    let expected = predict_epoch(shape, config, memoize, p, trace.rank);
+    let got = extract_epoch(trace, epoch)?;
+    Ok(diff(trace.rank, epoch, &expected, &got))
+}
+
+/// Check a whole recorded run (all ranks, every epoch present in the
+/// traces) against the model's prediction for a fixed plan. Returns the
+/// full list of schedule violations — empty means the run conformed.
+///
+/// # Errors
+/// If any trace is structurally malformed, or ranks disagree on the set
+/// of epochs.
+pub fn check_run(
+    traces: &[RankTrace],
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+) -> Result<Vec<Violation>, String> {
+    let p = traces.len();
+    assert!(p > 0, "need at least one rank trace");
+    // The epochs recorded by rank 0 define the run.
+    let epochs: Vec<usize> = traces[0]
+        .events
+        .iter()
+        .filter_map(|e| match e.data {
+            EventData::Begin(Span::Epoch { idx }) => Some(idx),
+            _ => None,
+        })
+        .collect();
+    if epochs.is_empty() {
+        return Err("rank 0 trace contains no epoch spans".into());
+    }
+    let mut violations = Vec::new();
+    for trace in traces {
+        for &epoch in &epochs {
+            violations.extend(check_epoch(trace, epoch, shape, config, memoize, p)?);
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdm_trace::Event;
+
+    fn shape() -> GnnShape {
+        GnnShape {
+            n: 140,
+            nnz: 1100,
+            feats: vec![16, 16, 5],
+        }
+    }
+
+    #[test]
+    fn part_len_matches_balanced_partition() {
+        // 10 over 3: 4, 3, 3 — remainder ranks first.
+        assert_eq!(part_len(10, 3, 0), 4);
+        assert_eq!(part_len(10, 3, 1), 3);
+        assert_eq!(part_len(10, 3, 2), 3);
+        assert_eq!((0..7).map(|r| part_len(23, 7, r)).sum::<usize>(), 23);
+    }
+
+    #[test]
+    fn single_rank_prediction_moves_no_bytes() {
+        for id in 0..16 {
+            let cfg = OrderConfig::from_id(id, 2);
+            let ev = predict_epoch(&shape(), &cfg, true, 1, 0);
+            for e in &ev {
+                match e {
+                    SchedEvent::Redist { bytes, .. } | SchedEvent::AllReduce { bytes } => {
+                        assert_eq!(*bytes, 0, "id {id}: {e}");
+                    }
+                    _ => {}
+                }
+            }
+            // The span skeleton is still there: 2 SpMMs + 2 GEMMs forward,
+            // at least as many backward.
+            let spmms = ev
+                .iter()
+                .filter(|e| matches!(e, SchedEvent::Spmm { .. }))
+                .count();
+            assert!(spmms >= 4, "id {id}: only {spmms} spmms");
+        }
+    }
+
+    #[test]
+    fn id0_forward_needs_one_redistribution_per_layer() {
+        // All-SpMM-first: the input has both forms, so layer 1's SpMM is
+        // free; each layer pays exactly one intra-layer Col→Row.
+        let cfg = OrderConfig::from_id(0, 2);
+        let ev = predict_epoch(&shape(), &cfg, true, 4, 1);
+        // Forward slice: up to the loss boundary there are 2 layers ×
+        // (Spmm, Redist, Gemm).
+        assert!(matches!(ev[0], SchedEvent::Spmm { .. }));
+        assert!(matches!(
+            ev[1],
+            SchedEvent::Redist {
+                from: Form::Col,
+                to: Form::Row,
+                kind: TraceCollective::Redistribute,
+                ..
+            }
+        ));
+        assert!(matches!(ev[2], SchedEvent::Gemm { .. }));
+        // Layer 2's input exists only row-sliced, so its SpMM pays a
+        // Row→Col first.
+        assert!(matches!(
+            ev[3],
+            SchedEvent::Redist {
+                from: Form::Row,
+                to: Form::Col,
+                ..
+            }
+        ));
+        assert!(matches!(ev[4], SchedEvent::Spmm { .. }));
+    }
+
+    #[test]
+    fn memoization_changes_the_predicted_schedule() {
+        // ID 4: forward [S, S], backward [D, S] — layer 1 memoizes
+        // (forward S, backward D). Without memoization the backward
+        // weight grad must recompute an SpMM, so the schedules differ.
+        let cfg = OrderConfig::from_id(4, 2);
+        assert!(cfg.memoize_forward_spmm(1));
+        let with = predict_epoch(&shape(), &cfg, true, 4, 0);
+        let without = predict_epoch(&shape(), &cfg, false, 4, 0);
+        assert_ne!(with, without);
+        let spmms = |ev: &[SchedEvent]| {
+            ev.iter()
+                .filter(|e| matches!(e, SchedEvent::Spmm { .. }))
+                .count()
+        };
+        assert!(spmms(&without) > spmms(&with));
+    }
+
+    #[test]
+    fn redistribution_bytes_sum_to_global_volume() {
+        // Row→Col of an n × f matrix moves (p-1)/p · n · f elements in
+        // total, summed over ranks, for any divisibility.
+        let s = shape();
+        for p in [2usize, 3, 4, 7] {
+            let cfg = OrderConfig::from_id(0, 2);
+            let mut totals = [0u64; 3];
+            for r in 0..p {
+                let ev = predict_epoch(&s, &cfg, true, p, r);
+                for (i, e) in ev
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            e,
+                            SchedEvent::Redist {
+                                kind: TraceCollective::Redistribute,
+                                ..
+                            }
+                        )
+                    })
+                    .enumerate()
+                    .take(3)
+                {
+                    if let SchedEvent::Redist { bytes, .. } = e {
+                        totals[i] += bytes;
+                    }
+                }
+            }
+            // First forward redistribution: Col→Row of the n × f_h layer-1
+            // SpMM output.
+            let expect = |f: usize| {
+                let kept: usize = (0..p)
+                    .map(|r| part_len(s.n, p, r) * part_len(f, p, r))
+                    .sum();
+                ((s.n * f - kept) * 4) as u64
+            };
+            assert_eq!(totals[0], expect(s.feats[0]), "p={p}");
+        }
+    }
+
+    #[test]
+    fn extract_ignores_unpriced_traffic_and_diffs_are_indexed() {
+        // Hand-build a tiny trace: epoch 0 containing one redistribution
+        // with two sends, a bare send (ignored), and one spmm.
+        let mk = |seq: u64, data: EventData| Event {
+            seq,
+            ts_ns: seq,
+            data,
+        };
+        let redist = Span::Redistribute {
+            from: Form::Row,
+            to: Form::Col,
+            chunks: 1,
+            kind: TraceCollective::Redistribute,
+        };
+        let events = vec![
+            mk(0, EventData::Begin(Span::Epoch { idx: 0 })),
+            mk(1, EventData::Begin(redist)),
+            mk(
+                2,
+                EventData::Collective {
+                    kind: TraceCollective::Redistribute,
+                    peer: 1,
+                    bytes: 100,
+                    msg_seq: 0,
+                },
+            ),
+            mk(
+                3,
+                EventData::Collective {
+                    kind: TraceCollective::Redistribute,
+                    peer: 2,
+                    bytes: 60,
+                    msg_seq: 1,
+                },
+            ),
+            mk(4, EventData::End),
+            // Bare send outside any accounting span: ignored.
+            mk(
+                5,
+                EventData::Collective {
+                    kind: TraceCollective::AllReduce,
+                    peer: 1,
+                    bytes: 8,
+                    msg_seq: 2,
+                },
+            ),
+            mk(
+                6,
+                EventData::Begin(Span::Spmm {
+                    rows: 10,
+                    cols: 4,
+                    nnz: 30,
+                }),
+            ),
+            mk(7, EventData::End),
+            mk(8, EventData::End),
+        ];
+        let trace = RankTrace { rank: 2, events };
+        let got = extract_epoch(&trace, 0).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                SchedEvent::Redist {
+                    from: Form::Row,
+                    to: Form::Col,
+                    kind: TraceCollective::Redistribute,
+                    bytes: 160,
+                },
+                SchedEvent::Spmm {
+                    rows: 10,
+                    cols: 4,
+                    nnz: 30,
+                },
+            ]
+        );
+        // Diff against a prediction that disagrees at index 1.
+        let expected = vec![
+            got[0],
+            SchedEvent::Spmm {
+                rows: 10,
+                cols: 5,
+                nnz: 30,
+            },
+        ];
+        let v = diff(2, 0, &expected, &got);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].index, 1);
+        let msg = v[0].to_string();
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("event 1"), "{msg}");
+        assert!(msg.contains("10x5"), "{msg}");
+        assert!(msg.contains("10x4"), "{msg}");
+    }
+
+    #[test]
+    fn extract_requires_the_epoch_to_exist() {
+        let trace = RankTrace {
+            rank: 0,
+            events: vec![],
+        };
+        let err = extract_epoch(&trace, 3).unwrap_err();
+        assert!(err.contains("no epoch 3"), "{err}");
+    }
+}

@@ -18,8 +18,12 @@
 //! * [`memory`] — the per-GPU space model (Table X).
 //! * [`device`] — the calibrated device model translating op counts and
 //!   byte counts into simulated seconds on the paper's 8×A6000 node.
+//! * [`conformance`] — the schedule-conformance checker: expand a plan
+//!   into the predicted per-rank event sequence and diff it against a
+//!   recorded `rdm-trace` run.
 
 pub mod config;
+pub mod conformance;
 pub mod cost;
 pub mod device;
 pub mod layer;
@@ -27,6 +31,7 @@ pub mod memory;
 pub mod symbolic;
 
 pub use config::{Order, OrderConfig};
+pub use conformance::{check_epoch, check_run, predict_epoch, SchedEvent, Violation};
 pub use cost::{pareto_configs, pareto_ids, Cost, GnnShape};
 pub use device::{DeviceModel, MeasuredRank, Predicted};
 pub use layer::LayerDims;

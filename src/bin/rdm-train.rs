@@ -35,6 +35,7 @@ struct Args {
     overlap: Option<usize>,
     chaos: Option<u64>,
     drop_rate: f64,
+    trace: Option<String>,
     quiet: bool,
 }
 
@@ -58,6 +59,7 @@ impl Default for Args {
             overlap: None,
             chaos: None,
             drop_rate: 0.05,
+            trace: None,
             quiet: false,
         }
     }
@@ -93,6 +95,9 @@ MODEL / TRAINING:
   --lr <x>              learning rate [0.01]
   --epochs <n>          epochs [10]
   --seed <s>            RNG seed [42]
+  --trace <out.json>    record per-rank structured traces and write them as
+                        Chrome trace JSON (load in chrome://tracing or
+                        Perfetto); results are bit-identical to untraced
   --quiet               summary only
 
 CHAOS:
@@ -152,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
                     ));
                 }
             }
+            "--trace" => args.trace = Some(value("--trace")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -300,6 +306,9 @@ fn main() -> ExitCode {
                 .straggler(0.02, 20_000),
         );
     }
+    if args.trace.is_some() {
+        cfg = cfg.trace();
+    }
 
     println!(
         "dataset {}: {} vertices, {} edges (nnz {}), {} features, {} classes",
@@ -355,6 +364,20 @@ fn main() -> ExitCode {
             "overlap: {:.3} ms of communication hidden behind compute over the run; \
              results bit-identical to blocking",
             report.total_overlap_ns() as f64 / 1e6,
+        );
+    }
+    if let Some(path) = &args.trace {
+        let traces = report.traces.as_ref().expect("traced run returns traces");
+        let events: usize = traces.iter().map(|t| t.events.len()).sum();
+        let json = gnn_rdm::trace::chrome::to_chrome_json(traces, false);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {events} events across {} ranks written to {path} \
+             (chrome://tracing / Perfetto)",
+            traces.len(),
         );
     }
     ExitCode::SUCCESS

@@ -17,6 +17,9 @@
 //! * [`core`] — distributed matrices, redistribution, communication-free
 //!   distributed SpMM/GEMM, GCN training (RDM + CAGNET + DGCL + GraphSAINT
 //!   trainers).
+//! * [`trace`] — per-rank structured event tracing with Chrome-trace
+//!   export (`rdm-train --trace`), checked against the model's predicted
+//!   schedule by `rdm_model::conformance`.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@ pub use rdm_dense as dense;
 pub use rdm_graph as graph;
 pub use rdm_model as model;
 pub use rdm_sparse as sparse;
+pub use rdm_trace as trace;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

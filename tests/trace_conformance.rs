@@ -1,0 +1,214 @@
+//! Schedule-conformance harness: recorded traces of real training runs
+//! must match the model's predicted per-rank event sequence — op kinds,
+//! redistribution directions, payload bytes, kernel shapes — for every
+//! Table-IV ordering, and a deliberately corrupted trace must fail with a
+//! rank-and-index-specific diff.
+//!
+//! `CHAOS_SEED` (env) shifts the fault seed so CI can sweep chaos
+//! schedules without code changes.
+
+use gnn_rdm::comm::FaultPlan;
+use gnn_rdm::core::{train_gcn, Plan, TrainerConfig};
+use gnn_rdm::graph::{Dataset, DatasetSpec};
+use gnn_rdm::model::{conformance, GnnShape, OrderConfig};
+use gnn_rdm::trace::{chrome, EventData, RankTrace, Span};
+
+fn dataset() -> Dataset {
+    DatasetSpec::synthetic("conformance", 140, 1100, 16, 5).instantiate(31)
+}
+
+fn chaos_base() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn shape_of(ds: &Dataset, hidden: usize) -> GnnShape {
+    GnnShape {
+        n: ds.n(),
+        nnz: ds.adj_norm.nnz(),
+        feats: vec![ds.spec.feature_size, hidden, ds.spec.labels],
+    }
+}
+
+fn traced_run(ds: &Dataset, cfg: TrainerConfig) -> Vec<RankTrace> {
+    train_gcn(ds, &cfg.trace())
+        .unwrap()
+        .traces
+        .expect("traced run returns traces")
+}
+
+#[test]
+fn all_16_plans_conform_at_p_1_2_4_with_and_without_memoization() {
+    let ds = dataset();
+    let shape = shape_of(&ds, 16);
+    for p in [1usize, 2, 4] {
+        for id in 0..16 {
+            for memoize in [true, false] {
+                let mut plan = Plan::from_id(id, 2, p);
+                if !memoize {
+                    plan = plan.no_memoize();
+                }
+                let cfg = TrainerConfig::rdm(p, plan).hidden(16).epochs(2);
+                let traces = traced_run(&ds, cfg);
+                assert_eq!(traces.len(), p);
+                let config = OrderConfig::from_id(id, 2);
+                let violations = conformance::check_run(&traces, &shape, &config, memoize)
+                    .unwrap_or_else(|e| {
+                        panic!("p={p} id={id} memoize={memoize}: malformed trace: {e}")
+                    });
+                assert!(
+                    violations.is_empty(),
+                    "p={p} id={id} memoize={memoize}: {} violation(s), first: {}",
+                    violations.len(),
+                    violations[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_holds_under_overlap_and_chaos() {
+    // The pipelined path and fault retransmissions must not change the
+    // extracted schedule: same spans, same payload bytes.
+    let ds = dataset();
+    let shape = shape_of(&ds, 16);
+    let faults = FaultPlan::new(chaos_base() ^ 0xD1CE)
+        .drop_rate(0.08)
+        .delay(0.25, 3)
+        .straggler(0.02, 20_000);
+    for id in [0usize, 5, 10, 15] {
+        let cfg = TrainerConfig::rdm(4, Plan::from_id(id, 2, 4))
+            .hidden(16)
+            .epochs(2)
+            .overlap(3)
+            .faults(faults);
+        let traces = traced_run(&ds, cfg);
+        let config = OrderConfig::from_id(id, 2);
+        let violations = conformance::check_run(&traces, &shape, &config, true).unwrap();
+        assert!(
+            violations.is_empty(),
+            "id={id}: overlap+chaos broke conformance: {}",
+            violations[0]
+        );
+    }
+}
+
+#[test]
+fn corrupting_one_event_fails_with_rank_and_index_specific_diff() {
+    let ds = dataset();
+    let shape = shape_of(&ds, 16);
+    let cfg = TrainerConfig::rdm(2, Plan::from_id(0, 2, 2))
+        .hidden(16)
+        .epochs(1);
+    let mut traces = traced_run(&ds, cfg);
+    let config = OrderConfig::from_id(0, 2);
+    assert!(conformance::check_run(&traces, &shape, &config, true)
+        .unwrap()
+        .is_empty());
+    // Corrupt the first SpMM span of rank 1: one wrong column count.
+    let victim = traces[1]
+        .events
+        .iter_mut()
+        .find(|e| matches!(e.data, EventData::Begin(Span::Spmm { .. })))
+        .expect("rank 1 ran an SpMM");
+    if let EventData::Begin(Span::Spmm { rows, cols, nnz }) = victim.data {
+        victim.data = EventData::Begin(Span::Spmm {
+            rows,
+            cols: cols + 1,
+            nnz,
+        });
+    }
+    let violations = conformance::check_run(&traces, &shape, &config, true).unwrap();
+    assert_eq!(
+        violations.len(),
+        1,
+        "one corrupted field must yield exactly one violation: {violations:?}"
+    );
+    let v = &violations[0];
+    assert_eq!(v.rank, 1);
+    assert_eq!(v.epoch, 0);
+    // ID 0 layer 1 is SpMM-first on a dual-form input: the SpMM is the
+    // very first schedule event.
+    assert_eq!(v.index, 0);
+    let msg = v.to_string();
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("event 0"), "{msg}");
+    assert!(msg.contains("expected") && msg.contains("got"), "{msg}");
+}
+
+#[test]
+fn corrupting_payload_bytes_is_caught() {
+    // Schedule conformance covers volumes, not just op kinds: retag one
+    // redistribution send's byte count and the diff must surface it.
+    let ds = dataset();
+    let shape = shape_of(&ds, 16);
+    let cfg = TrainerConfig::rdm(4, Plan::from_id(10, 2, 4))
+        .hidden(16)
+        .epochs(1);
+    let mut traces = traced_run(&ds, cfg);
+    let config = OrderConfig::from_id(10, 2);
+    let victim = traces[2]
+        .events
+        .iter_mut()
+        .find(|e| matches!(e.data, EventData::Collective { .. }))
+        .expect("rank 2 sent something");
+    if let EventData::Collective {
+        kind,
+        peer,
+        bytes,
+        msg_seq,
+    } = victim.data
+    {
+        victim.data = EventData::Collective {
+            kind,
+            peer,
+            bytes: bytes + 4,
+            msg_seq,
+        };
+    }
+    let violations = conformance::check_run(&traces, &shape, &config, true).unwrap();
+    assert!(!violations.is_empty(), "byte corruption went unnoticed");
+    assert!(violations.iter().all(|v| v.rank == 2));
+}
+
+#[test]
+fn exported_chrome_json_passes_schema_validation() {
+    let ds = dataset();
+    for p in [1usize, 2, 4] {
+        let cfg = TrainerConfig::rdm(p, Plan::from_id(10, 2, p))
+            .hidden(16)
+            .epochs(2);
+        let traces = traced_run(&ds, cfg);
+        for normalized in [false, true] {
+            let json = chrome::to_chrome_json(&traces, normalized);
+            chrome::validate(&json)
+                .unwrap_or_else(|e| panic!("p={p} normalized={normalized}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn three_layer_plans_conform_too() {
+    // The predictor generalizes past Table IV's 2-layer encoding; spot
+    // check a few 3-layer ids, including ones that exercise the
+    // pathological weight-gradient paths.
+    let ds = dataset();
+    let shape = GnnShape {
+        n: ds.n(),
+        nnz: ds.adj_norm.nnz(),
+        feats: vec![ds.spec.feature_size, 12, 12, ds.spec.labels],
+    };
+    for id in [0usize, 21, 42, 63, 37] {
+        let cfg = TrainerConfig::rdm(3, Plan::from_id(id, 3, 3))
+            .hidden(12)
+            .layers(3)
+            .epochs(2);
+        let traces = traced_run(&ds, cfg);
+        let config = OrderConfig::from_id(id, 3);
+        let violations = conformance::check_run(&traces, &shape, &config, true).unwrap();
+        assert!(violations.is_empty(), "3-layer id={id}: {}", violations[0]);
+    }
+}

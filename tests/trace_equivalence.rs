@@ -1,0 +1,176 @@
+//! Tracing must be an observer, never a participant: with `--trace` on,
+//! every loss, accuracy, simulated epoch time and per-kind payload byte
+//! count is bitwise identical to the untraced run, across the Table-IV
+//! order-plan corners and the overlapped pipeline. Two same-seed traced
+//! runs serialize to byte-identical normalized Chrome JSON, pinned by a
+//! golden snapshot; and dynamic selection's trial epochs stay blocking
+//! even when `--overlap` and `--trace` are both set.
+
+use gnn_rdm::comm::CollectiveKind;
+use gnn_rdm::core::{train_gcn, Plan, TrainReport, TrainerConfig};
+use gnn_rdm::graph::{Dataset, DatasetSpec};
+use gnn_rdm::trace::{chrome, EventData};
+
+fn dataset() -> Dataset {
+    DatasetSpec::synthetic("traceq", 140, 1100, 16, 5).instantiate(31)
+}
+
+fn report(ds: &Dataset, cfg: TrainerConfig) -> TrainReport {
+    train_gcn(ds, &cfg).unwrap()
+}
+
+/// Losses, accuracies and simulated epoch times, bitwise comparable.
+fn trajectory(r: &TrainReport) -> Vec<(u32, u32, u32, u64, u64, u64)> {
+    r.epochs
+        .iter()
+        .map(|e| {
+            (
+                e.loss.to_bits(),
+                e.train_acc.to_bits(),
+                e.test_acc.to_bits(),
+                e.sim.compute_s.to_bits(),
+                e.sim.comm_s.to_bits(),
+                e.sim.total_s.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Payload bytes and message counts per collective kind per epoch.
+fn volumes(r: &TrainReport) -> Vec<Vec<(u64, u64)>> {
+    use CollectiveKind::*;
+    r.epochs
+        .iter()
+        .map(|e| {
+            [
+                Redistribute,
+                Broadcast,
+                AllReduce,
+                AllGather,
+                Halo,
+                Sampling,
+                Eval,
+                Other,
+            ]
+            .iter()
+            .map(|&k| (e.comm.bytes(k), e.comm.messages(k)))
+            .collect()
+        })
+        .collect()
+}
+
+const PLAN_IDS: [usize; 4] = [0, 5, 10, 15];
+
+#[test]
+fn tracing_changes_nothing_observable() {
+    let ds = dataset();
+    for id in PLAN_IDS {
+        for overlap in [false, true] {
+            let mut base = TrainerConfig::rdm(4, Plan::from_id(id, 2, 4))
+                .hidden(8)
+                .epochs(3);
+            if overlap {
+                base = base.overlap(3);
+            }
+            let off = report(&ds, base.clone());
+            let on = report(&ds, base.trace());
+            assert!(off.traces.is_none(), "untraced run returned traces");
+            assert!(on.traces.is_some(), "traced run returned no traces");
+            assert_eq!(
+                trajectory(&off),
+                trajectory(&on),
+                "id={id} overlap={overlap}: tracing perturbed the trajectory"
+            );
+            assert_eq!(
+                volumes(&off),
+                volumes(&on),
+                "id={id} overlap={overlap}: tracing perturbed the payload counters"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_serialize_to_identical_normalized_json() {
+    let ds = dataset();
+    let cfg = TrainerConfig::rdm(2, Plan::from_id(0, 2, 2))
+        .hidden(8)
+        .epochs(2)
+        .trace();
+    let a = report(&ds, cfg.clone());
+    let b = report(&ds, cfg);
+    let ja = chrome::to_chrome_json(a.traces.as_ref().unwrap(), true);
+    let jb = chrome::to_chrome_json(b.traces.as_ref().unwrap(), true);
+    assert_eq!(ja, jb, "normalized trace JSON is not reproducible");
+    chrome::validate(&ja).unwrap();
+}
+
+#[test]
+fn normalized_trace_matches_golden_snapshot() {
+    // P=2, plan id 0, one epoch: the full normalized export is pinned.
+    // Regenerate with:
+    //   cargo test --test trace_equivalence -- --ignored regenerate_golden
+    let ds = dataset();
+    let cfg = TrainerConfig::rdm(2, Plan::from_id(0, 2, 2))
+        .hidden(8)
+        .epochs(1)
+        .trace();
+    let r = report(&ds, cfg);
+    let json = chrome::to_chrome_json(r.traces.as_ref().unwrap(), true);
+    let golden = include_str!("golden/trace_p2_id0.json");
+    assert_eq!(
+        json.trim(),
+        golden.trim(),
+        "normalized trace drifted from tests/golden/trace_p2_id0.json \
+         (regenerate deliberately if the schedule changed)"
+    );
+}
+
+#[test]
+#[ignore = "writes the golden snapshot; run explicitly after deliberate schedule changes"]
+fn regenerate_golden() {
+    let ds = dataset();
+    let cfg = TrainerConfig::rdm(2, Plan::from_id(0, 2, 2))
+        .hidden(8)
+        .epochs(1)
+        .trace();
+    let r = report(&ds, cfg);
+    let json = chrome::to_chrome_json(r.traces.as_ref().unwrap(), true);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace_p2_id0.json"
+    );
+    std::fs::write(path, &json).unwrap();
+}
+
+#[test]
+fn dynamic_selection_trials_stay_blocking_under_overlap_and_trace() {
+    // Regression: the dynamic selector's trial epochs measure the *blocking*
+    // schedule on purpose (overlap would skew the per-plan comm timings it
+    // ranks). `--overlap --trace` together must not change that: no
+    // OverlapStrip events anywhere, and exactly the message counts of the
+    // plain dynamic run.
+    let ds = dataset();
+    let base = TrainerConfig::rdm_dynamic(4, 2).hidden(8).epochs(4);
+    let plain = report(&ds, base.clone());
+    let traced = report(&ds, base.overlap(3).trace());
+    assert_eq!(
+        trajectory(&plain),
+        trajectory(&traced),
+        "overlap+trace perturbed the dynamic run"
+    );
+    assert_eq!(
+        volumes(&plain),
+        volumes(&traced),
+        "overlap+trace changed the dynamic run's traffic"
+    );
+    let strips: usize = traced
+        .traces
+        .as_ref()
+        .unwrap()
+        .iter()
+        .flat_map(|t| &t.events)
+        .filter(|e| matches!(e.data, EventData::OverlapStrip { .. }))
+        .count();
+    assert_eq!(strips, 0, "dynamic trials ran the pipelined path");
+}
