@@ -46,7 +46,10 @@ pub fn softmax_xent(logits: &DistMat, spec: &LossSpec<'_>, ctx: &RankCtx) -> (f3
         grow[y] -= 1.0;
     }
     // Combine (loss, count) across ranks with one small all-reduce.
-    let partial = Mat::from_vec(1, 2, vec![local_loss as f32, local_count as f32]);
+    // Pooled constructor (not `from_vec` with a fresh literal) so the
+    // per-epoch reduction stays allocation-free in steady state.
+    let parts = [local_loss as f32, local_count as f32];
+    let partial = Mat::from_fn(1, 2, |_, j| parts[j]);
     let summed = ctx.all_reduce_sum(partial, CollectiveKind::AllReduce);
     let total_count = summed.get(0, 1).max(1.0);
     let loss = summed.get(0, 0) / total_count;
@@ -87,7 +90,8 @@ pub fn accuracy(logits: &DistMat, labels: &[u32], mask: &[bool], ctx: &RankCtx) 
             correct += 1.0;
         }
     }
-    let partial = Mat::from_vec(1, 2, vec![correct, count]);
+    let parts = [correct, count];
+    let partial = Mat::from_fn(1, 2, |_, j| parts[j]);
     let summed = ctx.all_reduce_sum(partial, CollectiveKind::AllReduce);
     summed.get(0, 0) / summed.get(0, 1).max(1.0)
 }

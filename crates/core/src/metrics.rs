@@ -23,6 +23,11 @@ pub struct RankEpoch {
     /// The Table-IV ordering this epoch executed (RDM trainers; `None`
     /// for the fixed-order baselines).
     pub plan_id: Option<usize>,
+    /// Workspace-pool buffers this rank freshly allocated this epoch.
+    /// Zero from epoch 2 onward in steady state (the pool's guarantee).
+    pub ws_fresh: u64,
+    /// Workspace-pool buffers this rank reused from its shelf this epoch.
+    pub ws_reused: u64,
 }
 
 /// One epoch, aggregated over ranks.
@@ -46,6 +51,10 @@ pub struct EpochMetrics {
     pub sim: Predicted,
     /// The Table-IV ordering this epoch executed, when applicable.
     pub plan_id: Option<usize>,
+    /// Fresh workspace-pool allocations this epoch, summed over ranks.
+    pub ws_fresh: u64,
+    /// Workspace-pool buffer reuses this epoch, summed over ranks.
+    pub ws_reused: u64,
 }
 
 impl EpochMetrics {
@@ -99,6 +108,8 @@ impl EpochMetrics {
         }
         EpochMetrics {
             plan_id: ranks[0].plan_id,
+            ws_fresh: ranks.iter().map(|r| r.ws_fresh).sum(),
+            ws_reused: ranks.iter().map(|r| r.ws_reused).sum(),
             epoch,
             loss: ranks[0].loss,
             train_acc: ranks[0].train_acc,
@@ -139,6 +150,18 @@ impl EpochMetrics {
     /// Zero on the blocking path.
     pub fn overlap_ns(&self) -> u64 {
         self.comm.overlap_ns
+    }
+
+    /// Fresh workspace-pool heap allocations this epoch, summed over
+    /// ranks. The zero-alloc steady-state tests assert this is 0 for
+    /// every epoch after the first.
+    pub fn ws_fresh(&self) -> u64 {
+        self.ws_fresh
+    }
+
+    /// Workspace-pool buffer reuses this epoch, summed over ranks.
+    pub fn ws_reused(&self) -> u64 {
+        self.ws_reused
     }
 }
 
@@ -224,6 +247,8 @@ mod tests {
         comm.record_send(CollectiveKind::Redistribute, bytes);
         RankEpoch {
             plan_id: None,
+            ws_fresh: 0,
+            ws_reused: 0,
             loss: 1.0,
             train_acc: 0.5,
             test_acc: 0.4,

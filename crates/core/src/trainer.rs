@@ -319,16 +319,13 @@ impl RdmState {
         }
         // Aggregate this epoch's cost across ranks so every rank scores
         // identically (local byte counts differ by partition remainders).
-        let local = rdm_dense::Mat::from_vec(
-            1,
-            4,
-            vec![
-                ops.spmm_fma as f32,
-                ops.gemm_fma as f32,
-                bytes as f32,
-                msgs as f32,
-            ],
-        );
+        let measured = [
+            ops.spmm_fma as f32,
+            ops.gemm_fma as f32,
+            bytes as f32,
+            msgs as f32,
+        ];
+        let local = rdm_dense::Mat::from_fn(1, 4, |_, j| measured[j]);
         let total = ctx.all_reduce_sum(local, CollectiveKind::AllReduce);
         let p = ctx.size() as f64;
         let compute = self
@@ -521,6 +518,9 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         };
         let mut epochs = Vec::with_capacity(cfg.epochs);
         let mut prev_stats = ctx.stats_snapshot();
+        // Ranks are threads, so the thread-local workspace-pool counters
+        // are exactly this rank's allocation activity.
+        let mut prev_ws = rdm_dense::pool::stats();
         for epoch_idx in 0..cfg.epochs {
             ctx.barrier();
             // The epoch span covers exactly the training work between the
@@ -557,6 +557,9 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
                 s.dynamic_post_epoch(ctx, &ops, delta.total_bytes(), delta.total_messages());
             }
             prev_stats = ctx.stats_snapshot();
+            let ws = rdm_dense::pool::stats();
+            let (ws_fresh, ws_reused) = (ws.fresh - prev_ws.fresh, ws.reused - prev_ws.reused);
+            prev_ws = ws;
             epochs.push(RankEpoch {
                 loss,
                 train_acc,
@@ -566,6 +569,8 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
                 comm: delta,
                 ops,
                 plan_id,
+                ws_fresh,
+                ws_reused,
             });
         }
         epochs

@@ -87,7 +87,7 @@ pub fn gemm_tn_acc(a: &Mat, b: &Mat, c: &mut Mat) {
     // Weight-gradient shapes have small m, n (feature dims) and large k
     // (vertices): panels of C rows correspond to strided columns of A.
     c.as_mut_slice()
-        .par_chunks_mut(ROW_PANEL.max(1) * n)
+        .par_chunks_mut(ROW_PANEL * n)
         .enumerate()
         .for_each(|(panel, c_panel)| {
             let i0 = panel * ROW_PANEL;
@@ -232,5 +232,29 @@ mod tests {
     #[should_panic]
     fn gemm_shape_mismatch_panics() {
         let _ = gemm(&Mat::zeros(2, 3), &Mat::zeros(4, 2));
+    }
+
+    #[test]
+    fn all_variants_handle_zero_dimensions() {
+        // m == 0, n == 0, k == 0 for every orientation, including the
+        // accumulating forms (which must leave C untouched).
+        for (m, k, n) in [(0, 4, 3), (3, 0, 2), (3, 4, 0), (0, 0, 0)] {
+            assert_eq!(gemm(&Mat::zeros(m, k), &Mat::zeros(k, n)).shape(), (m, n));
+            assert_eq!(
+                gemm_tn(&Mat::zeros(k, m), &Mat::zeros(k, n)).shape(),
+                (m, n)
+            );
+            assert_eq!(
+                gemm_nt(&Mat::zeros(m, k), &Mat::zeros(n, k)).shape(),
+                (m, n)
+            );
+            let mut c = Mat::from_fn(m, n, |i, j| (i + 2 * j) as f32 + 1.0);
+            let keep = c.clone();
+            gemm_acc(&Mat::zeros(m, k), &Mat::zeros(k, n), &mut c);
+            assert_eq!(c, keep);
+            let mut c = keep.clone();
+            gemm_tn_acc(&Mat::zeros(k, m), &Mat::zeros(k, n), &mut c);
+            assert_eq!(c, keep);
+        }
     }
 }

@@ -18,6 +18,7 @@
 pub mod gemm;
 pub mod mat;
 pub mod ops;
+pub mod pool;
 pub mod split;
 
 pub use gemm::{gemm, gemm_acc, gemm_nt, gemm_tn, gemm_tn_acc};

@@ -1,5 +1,6 @@
 //! The dense matrix type.
 
+use crate::pool;
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -8,11 +9,40 @@ use rand::SeedableRng;
 ///
 /// Row-major layout means row `i` occupies `data[i*cols .. (i+1)*cols]`,
 /// which keeps SpMM row accumulation and GEMM panel traversal contiguous.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Storage is recycled through the per-thread workspace [`pool`]: every
+/// constructor (except [`Mat::from_vec`], which adopts a caller buffer)
+/// draws from the pool, and `Drop` returns the buffer to it — so
+/// steady-state training epochs perform no fresh heap allocations.
+#[derive(Debug)]
 pub struct Mat {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Drop for Mat {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Mat {
+    fn clone(&self) -> Self {
+        let mut data = pool::take_empty(self.data.len());
+        data.extend_from_slice(&self.data);
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl PartialEq for Mat {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl Mat {
@@ -21,7 +51,7 @@ impl Mat {
         Mat {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: pool::take_zeroed(rows * cols),
         }
     }
 
@@ -41,7 +71,7 @@ impl Mat {
 
     /// Build by evaluating `f(i, j)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool::take_empty(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
                 data.push(f(i, j));
@@ -59,7 +89,8 @@ impl Mat {
     pub fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = Uniform::new_inclusive(-scale, scale);
-        let data = (0..rows * cols).map(|_| dist.sample(&mut rng)).collect();
+        let mut data = pool::take_empty(rows * cols);
+        data.extend((0..rows * cols).map(|_| dist.sample(&mut rng)));
         Mat { rows, cols, data }
     }
 
@@ -108,9 +139,10 @@ impl Mat {
         &mut self.data
     }
 
-    /// Consume into the flat buffer.
+    /// Consume into the flat buffer (which leaves the pool with it).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        let mut this = std::mem::ManuallyDrop::new(self);
+        std::mem::take(&mut this.data)
     }
 
     /// Row `i` as a contiguous slice.
@@ -152,10 +184,13 @@ impl Mat {
             r0 <= r1 && r1 <= self.rows,
             "row range {r0}..{r1} out of bounds"
         );
+        let src = &self.data[r0 * self.cols..r1 * self.cols];
+        let mut data = pool::take_empty(src.len());
+        data.extend_from_slice(src);
         Mat {
             rows: r1 - r0,
             cols: self.cols,
-            data: self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+            data,
         }
     }
 
@@ -166,7 +201,7 @@ impl Mat {
             "col range {c0}..{c1} out of bounds"
         );
         let w = c1 - c0;
-        let mut data = Vec::with_capacity(self.rows * w);
+        let mut data = pool::take_empty(self.rows * w);
         for i in 0..self.rows {
             data.extend_from_slice(&self.row(i)[c0..c1]);
         }

@@ -45,7 +45,7 @@ pub fn vstack(chunks: &[Mat]) -> Mat {
     assert!(!chunks.is_empty(), "vstack of zero chunks");
     let cols = chunks[0].cols();
     let rows: usize = chunks.iter().map(Mat::rows).sum();
-    let mut data = Vec::with_capacity(rows * cols);
+    let mut data = crate::pool::take_empty(rows * cols);
     for c in chunks {
         assert_eq!(c.cols(), cols, "vstack: inconsistent column counts");
         data.extend_from_slice(c.as_slice());

@@ -1,0 +1,107 @@
+//! The shim's parallel slice operations must be observationally identical
+//! to their sequential references for every slice length / chunk size
+//! combination — ragged chunk counts, chunk counts below the runner count,
+//! a single item, `chunk_size > len`, and empty slices included. These
+//! are the cases the old round-robin scoped-thread dealer and the
+//! `SPAWN_MIN` inline fallback have to agree on.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+/// Sequential reference for `par_chunks_mut(..).enumerate().for_each`:
+/// stamp every element with a value derived from its chunk index and
+/// offset, so any mis-assigned, skipped, or doubly-visited element shows.
+fn stamp_seq(v: &mut [u64], chunk_size: usize) {
+    for (i, chunk) in v.chunks_mut(chunk_size).enumerate() {
+        for (j, x) in chunk.iter_mut().enumerate() {
+            *x = x.wrapping_mul(31).wrapping_add((i * 1_000_003 + j) as u64);
+        }
+    }
+}
+
+fn stamp_par(v: &mut [u64], chunk_size: usize) {
+    v.par_chunks_mut(chunk_size)
+        .enumerate()
+        .for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = x.wrapping_mul(31).wrapping_add((i * 1_000_003 + j) as u64);
+            }
+        });
+}
+
+proptest! {
+    #[test]
+    fn par_chunks_matches_sequential(
+        len in 0usize..9_000,
+        chunk_size in 1usize..10_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        // `chunk_size` is drawn past `len`'s range so chunk_size > len,
+        // single-chunk, and many-ragged-chunk cases all occur; small
+        // `len` keeps runs below SPAWN_MIN, large ones above it.
+        let init: Vec<u64> = (0..len as u64).map(|i| i ^ seed).collect();
+        let mut seq = init.clone();
+        let mut par = init;
+        stamp_seq(&mut seq, chunk_size);
+        stamp_par(&mut par, chunk_size);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_iter_matches_sequential(len in 0usize..9_000, seed in 0u64..u64::MAX) {
+        let init: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let mut seq = init.clone();
+        let mut par = init;
+        seq.iter_mut().for_each(|x| *x = x.wrapping_mul(2654435761).rotate_left(7));
+        par.par_iter_mut().for_each(|x| *x = x.wrapping_mul(2654435761).rotate_left(7));
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn partition_matches_sequential(
+        cuts in proptest::collection::vec(0usize..2_000, 0..12),
+        scale in 1usize..8,
+    ) {
+        // Arbitrary non-decreasing bounds, empty panels allowed.
+        let mut bounds = vec![0usize];
+        bounds.extend(cuts);
+        bounds.sort_unstable();
+        let len = bounds.last().unwrap() * scale;
+        let mut seq = vec![0u32; len];
+        let mut par = vec![0u32; len];
+        for i in 0..bounds.len() - 1 {
+            let (s, e) = (bounds[i] * scale, bounds[i + 1] * scale);
+            for (j, x) in seq[s..e].iter_mut().enumerate() {
+                *x = (i * 131 + j) as u32;
+            }
+        }
+        rayon::par_partition_mut(&mut par, &bounds, scale, |i, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 131 + j) as u32;
+            }
+        });
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn forced_pool_dispatch_matches_sequential(
+        total in 1usize..600,
+        helpers in 1usize..6,
+    ) {
+        // Bypasses the SPAWN_MIN inline fallback entirely: every case runs
+        // on real pool workers even when the host has one hardware thread,
+        // covering tasks < helpers, 1 task, and ragged remainders.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cells: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        rayon::internals::run_pooled(total, helpers, |i| {
+            cells[i].fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        for (i, c) in cells.iter().enumerate() {
+            prop_assert_eq!(
+                c.load(Ordering::Relaxed),
+                i as u64 + 1,
+                "task {} ran a wrong number of times", i
+            );
+        }
+    }
+}

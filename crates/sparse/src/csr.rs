@@ -1,5 +1,7 @@
 //! CSR / COO sparse matrix types and structural operations.
 
+use std::sync::OnceLock;
+
 /// A matrix in coordinate form — the natural output of graph generators and
 /// edge-list loaders. Duplicate entries are summed on conversion to CSR.
 #[derive(Clone, Debug, Default)]
@@ -71,13 +73,7 @@ impl Coo {
             }
             out_indptr[r + 1] = out_cols.len();
         }
-        Csr {
-            rows: self.rows,
-            cols: self.cols,
-            indptr: out_indptr,
-            indices: out_cols,
-            vals: out_vals,
-        }
+        Csr::assemble(self.rows, self.cols, out_indptr, out_cols, out_vals)
     }
 }
 
@@ -87,25 +83,88 @@ impl Coo {
 /// `indptr` is monotone with `indptr[0] == 0` and
 /// `indptr[rows] == indices.len() == vals.len()`; within each row the
 /// column indices are strictly increasing and `< cols`.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Csr {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     vals: Vec<f32>,
+    /// Lazily computed nonzero-balanced row-panel boundaries (see
+    /// [`Csr::nnz_partition`]). Not part of the matrix value: ignored by
+    /// equality, cloned along for free reuse on copies.
+    panels: OnceLock<Vec<usize>>,
+}
+
+/// Structural + value equality; the cached scheduling partition is not part
+/// of the matrix value.
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.vals == other.vals
+    }
+}
+
+/// Row-panel boundaries splitting `indptr`'s rows into at most `tasks`
+/// panels of roughly equal nonzero count. Returns `tasks + 1` boundaries
+/// (clamped to the row count) — panel `i` covers rows
+/// `bounds[i]..bounds[i + 1]`, always at least one row, so regrouping rows
+/// into panels never changes any row's accumulation order.
+///
+/// Boundary `t` is the first row whose nonzero prefix reaches
+/// `t · nnz / tasks`, found by binary search — panels overshoot the target
+/// by at most one row's nonzeros, so the max/mean panel ratio stays bounded
+/// by `1 + max_row_nnz · tasks / nnz` even on power-law graphs.
+pub fn balanced_panels(indptr: &[usize], tasks: usize) -> Vec<usize> {
+    let rows = indptr.len().saturating_sub(1);
+    if rows == 0 {
+        return vec![0];
+    }
+    let tasks = tasks.clamp(1, rows);
+    let nnz = indptr[rows];
+    let mut bounds = Vec::with_capacity(tasks + 1);
+    bounds.push(0usize);
+    for t in 1..tasks {
+        let target = nnz * t / tasks;
+        let prev = *bounds.last().unwrap();
+        let b = indptr
+            .partition_point(|&x| x < target)
+            // Keep boundaries strictly increasing and leave ≥ 1 row for
+            // each remaining panel.
+            .clamp(prev + 1, rows - (tasks - t));
+        bounds.push(b);
+    }
+    bounds.push(rows);
+    bounds
 }
 
 impl Csr {
-    /// Empty `rows × cols` matrix.
-    pub fn empty(rows: usize, cols: usize) -> Self {
+    /// Internal constructor; invariants are the caller's responsibility
+    /// (public construction goes through [`Csr::from_parts`], which
+    /// validates).
+    fn assemble(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        vals: Vec<f32>,
+    ) -> Self {
         Csr {
             rows,
             cols,
-            indptr: vec![0; rows + 1],
-            indices: Vec::new(),
-            vals: Vec::new(),
+            indptr,
+            indices,
+            vals,
+            panels: OnceLock::new(),
         }
+    }
+
+    /// Empty `rows × cols` matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Csr::assemble(rows, cols, vec![0; rows + 1], Vec::new(), Vec::new())
     }
 
     /// Build from raw parts.
@@ -119,13 +178,7 @@ impl Csr {
         indices: Vec<u32>,
         vals: Vec<f32>,
     ) -> Self {
-        let m = Csr {
-            rows,
-            cols,
-            indptr,
-            indices,
-            vals,
-        };
+        let m = Csr::assemble(rows, cols, indptr, indices, vals);
         m.validate().expect("invalid CSR");
         m
     }
@@ -170,13 +223,24 @@ impl Csr {
 
     /// The identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
-        Csr {
-            rows: n,
-            cols: n,
-            indptr: (0..=n).collect(),
-            indices: (0..n as u32).collect(),
-            vals: vec![1.0; n],
-        }
+        Csr::assemble(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as u32).collect(),
+            vec![1.0; n],
+        )
+    }
+
+    /// Nonzero-balanced row-panel boundaries for parallel SpMM, computed
+    /// on first use with [`balanced_panels`] and cached (the adjacency
+    /// matrix is reused every epoch, so the partition is too). The `tasks`
+    /// hint is honoured by the first caller only; later calls return the
+    /// cached partition regardless — every kernel in this workspace asks
+    /// for the same count.
+    pub fn nnz_partition(&self, tasks: usize) -> &[usize] {
+        self.panels
+            .get_or_init(|| balanced_panels(&self.indptr, tasks))
     }
 
     #[inline]
@@ -268,13 +332,7 @@ impl Csr {
         }
         // Rows were visited in increasing order, so each output row is
         // already sorted by column.
-        Csr {
-            rows: self.cols,
-            cols: self.rows,
-            indptr: counts,
-            indices,
-            vals,
-        }
+        Csr::assemble(self.cols, self.rows, counts, indices, vals)
     }
 
     /// Extract the row panel `r0..r1` (all columns).
@@ -282,13 +340,13 @@ impl Csr {
         assert!(r0 <= r1 && r1 <= self.rows);
         let (s, e) = (self.indptr[r0], self.indptr[r1]);
         let indptr = self.indptr[r0..=r1].iter().map(|p| p - s).collect();
-        Csr {
-            rows: r1 - r0,
-            cols: self.cols,
+        Csr::assemble(
+            r1 - r0,
+            self.cols,
             indptr,
-            indices: self.indices[s..e].to_vec(),
-            vals: self.vals[s..e].to_vec(),
-        }
+            self.indices[s..e].to_vec(),
+            self.vals[s..e].to_vec(),
+        )
     }
 
     /// Extract the column block `c0..c1` (all rows); column indices are
@@ -310,13 +368,7 @@ impl Csr {
             }
             indptr[r + 1] = indices.len();
         }
-        Csr {
-            rows: self.rows,
-            cols: c1 - c0,
-            indptr,
-            indices,
-            vals,
-        }
+        Csr::assemble(self.rows, c1 - c0, indptr, indices, vals)
     }
 
     /// Induced submatrix on `keep` (relabels both rows and columns to
@@ -353,13 +405,7 @@ impl Csr {
             }
             indptr[new_r + 1] = indices.len();
         }
-        Csr {
-            rows: n,
-            cols: n,
-            indptr,
-            indices,
-            vals,
-        }
+        Csr::assemble(n, n, indptr, indices, vals)
     }
 
     /// Apply the same permutation to rows and columns:
@@ -524,14 +570,62 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_structure() {
-        let m = Csr {
-            rows: 2,
-            cols: 2,
-            indptr: vec![0, 1, 1],
-            indices: vec![5],
-            vals: vec![1.0],
-        };
+        let m = Csr::assemble(2, 2, vec![0, 1, 1], vec![5], vec![1.0]);
         assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn balanced_panels_bound_skewed_rows() {
+        // Power-law-ish: a few rows carry almost all nonzeros.
+        let mut coo = Coo::new(512, 512);
+        for r in 0..8u32 {
+            for c in 0..256u32 {
+                if r != c {
+                    coo.push(r, c, 1.0);
+                }
+            }
+        }
+        for r in 8..512u32 {
+            coo.push(r, (r - 1) % 512, 1.0);
+        }
+        let m = coo.to_csr();
+        let tasks = 16;
+        let bounds = balanced_panels(m.indptr(), tasks);
+        assert_eq!(bounds.len(), tasks + 1);
+        assert_eq!(*bounds.last().unwrap(), 512);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let panel_nnz: Vec<usize> = bounds
+            .windows(2)
+            .map(|w| m.indptr()[w[1]] - m.indptr()[w[0]])
+            .collect();
+        let max = *panel_nnz.iter().max().unwrap() as f64;
+        let mean = m.nnz() as f64 / tasks as f64;
+        // Each panel overshoots its target by at most one row (≤ 255 nnz).
+        assert!(
+            max / mean < 2.0,
+            "balanced partition still skewed: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn balanced_panels_edge_cases() {
+        // Empty matrix, one row, more tasks than rows, zero nnz.
+        assert_eq!(balanced_panels(&[0], 4), vec![0]);
+        assert_eq!(balanced_panels(&[0, 3], 4), vec![0, 1]);
+        assert_eq!(balanced_panels(&[0, 0, 0, 0], 8), vec![0, 1, 2, 3]);
+        let uniform = balanced_panels(&[0, 2, 4, 6, 8], 2);
+        assert_eq!(uniform, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn nnz_partition_is_cached_and_survives_clone() {
+        let m = sample();
+        let a = m.nnz_partition(2).to_vec();
+        // First caller wins; a different hint returns the same partition.
+        assert_eq!(m.nnz_partition(3), &a[..]);
+        let c = m.clone();
+        assert_eq!(c.nnz_partition(2), &a[..]);
+        assert_eq!(m, c);
     }
 
     #[test]

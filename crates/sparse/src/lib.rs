@@ -15,6 +15,6 @@ pub mod csr;
 pub mod norm;
 pub mod spmm;
 
-pub use csr::{Coo, Csr};
+pub use csr::{balanced_panels, Coo, Csr};
 pub use norm::{gcn_normalize, mean_normalize, row_normalize};
 pub use spmm::{spmm, spmm_acc, spmm_masked};

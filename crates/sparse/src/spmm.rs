@@ -1,7 +1,6 @@
 //! Sparse × dense matrix multiplication.
 
 use crate::csr::Csr;
-use rayon::prelude::*;
 use rdm_dense::Mat;
 
 /// `C = A · B` for CSR `A` (m×k) and dense `B` (k×n), allocating `C` (m×n).
@@ -38,29 +37,31 @@ pub fn spmm_acc(a: &Csr, b: &Mat, c: &mut Mat) {
     let indptr = a.indptr();
     let indices = a.indices();
     let vals = a.vals();
-    // One rayon task per chunk of rows; chunk size adapts to density so that
-    // skewed (power-law) rows still balance.
-    let rows = a.rows();
-    let chunk = (rows / (rayon::current_num_threads() * 8)).max(1);
-    c.as_mut_slice()
-        .par_chunks_mut(chunk * n)
-        .enumerate()
-        .for_each(|(ci, c_chunk)| {
-            let r0 = ci * chunk;
-            let rows_here = c_chunk.len() / n;
-            for rr in 0..rows_here {
-                let r = r0 + rr;
-                let c_row = &mut c_chunk[rr * n..(rr + 1) * n];
-                for idx in indptr[r]..indptr[r + 1] {
-                    let k = indices[idx] as usize;
-                    let v = vals[idx];
-                    let b_row = &b_data[k * n..(k + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += v * bv;
-                    }
+    // One task per nnz-balanced row panel: boundaries are precomputed from
+    // `indptr` (and cached on `A`, which is reused every epoch) so each task
+    // owns ~equal nonzeros and skewed (power-law) rows still balance. Panels
+    // are whole rows, so per-row accumulation order — and hence every output
+    // bit — is identical to a sequential sweep.
+    let bounds = a.nnz_partition(task_count(a.rows()));
+    rayon::par_partition_mut(c.as_mut_slice(), bounds, n, |t, c_chunk| {
+        for (rr, r) in (bounds[t]..bounds[t + 1]).enumerate() {
+            let c_row = &mut c_chunk[rr * n..(rr + 1) * n];
+            for idx in indptr[r]..indptr[r + 1] {
+                let k = indices[idx] as usize;
+                let v = vals[idx];
+                let b_row = &b_data[k * n..(k + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += v * bv;
                 }
             }
-        });
+        }
+    });
+}
+
+/// How many nnz-balanced panels to cut a `rows`-row matrix into: enough to
+/// keep every worker fed with slack for imbalance, never more than rows.
+fn task_count(rows: usize) -> usize {
+    (rayon::current_num_threads() * 8).clamp(1, rows.max(1))
 }
 
 /// Masked SpMM (§III-F): like [`spmm`] but only the entries of `A` whose
@@ -75,37 +76,32 @@ pub fn spmm_masked(a: &Csr, b: &Mat, mask: &[bool]) -> Mat {
     assert_eq!(a.cols(), b.rows(), "spmm_masked shape mismatch");
     let n = b.cols();
     let mut c = Mat::zeros(a.rows(), n);
-    if a.rows() == 0 || n == 0 {
+    if a.rows() == 0 || n == 0 || a.nnz() == 0 {
         return c;
     }
     let b_data = b.as_slice();
     let indptr = a.indptr();
     let indices = a.indices();
     let vals = a.vals();
-    let rows = a.rows();
-    let chunk = (rows / (rayon::current_num_threads() * 8)).max(1);
-    c.as_mut_slice()
-        .par_chunks_mut(chunk * n)
-        .enumerate()
-        .for_each(|(ci, c_chunk)| {
-            let r0 = ci * chunk;
-            let rows_here = c_chunk.len() / n;
-            for rr in 0..rows_here {
-                let r = r0 + rr;
-                let c_row = &mut c_chunk[rr * n..(rr + 1) * n];
-                for idx in indptr[r]..indptr[r + 1] {
-                    if !mask[idx] {
-                        continue;
-                    }
-                    let k = indices[idx] as usize;
-                    let v = vals[idx];
-                    let b_row = &b_data[k * n..(k + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += v * bv;
-                    }
+    // Same nnz-balanced panels as the unmasked kernel (the mask only thins
+    // work within a row; the partition is still the right upper bound).
+    let bounds = a.nnz_partition(task_count(a.rows()));
+    rayon::par_partition_mut(c.as_mut_slice(), bounds, n, |t, c_chunk| {
+        for (rr, r) in (bounds[t]..bounds[t + 1]).enumerate() {
+            let c_row = &mut c_chunk[rr * n..(rr + 1) * n];
+            for idx in indptr[r]..indptr[r + 1] {
+                if !mask[idx] {
+                    continue;
+                }
+                let k = indices[idx] as usize;
+                let v = vals[idx];
+                let b_row = &b_data[k * n..(k + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += v * bv;
                 }
             }
-        });
+        }
+    });
     c
 }
 
@@ -172,6 +168,57 @@ mod tests {
         let a = Csr::empty(4, 6);
         let b = Mat::zeros(5, 3);
         let _ = spmm(&a, &b);
+    }
+
+    #[test]
+    fn zero_dimension_inputs_are_handled() {
+        // m == 0, n == 0, k == 0 and nnz == 0 for both kernels.
+        let b = Mat::random(6, 3, 1.0, 5);
+        assert_eq!(spmm(&Csr::empty(0, 6), &b).shape(), (0, 3));
+        assert_eq!(spmm(&Csr::empty(4, 6), &Mat::zeros(6, 0)).shape(), (4, 0));
+        assert_eq!(spmm(&Csr::empty(0, 0), &Mat::zeros(0, 2)).shape(), (0, 2));
+        let masked = spmm_masked(&Csr::empty(4, 6), &b, &[]);
+        assert_eq!(masked.shape(), (4, 3));
+        assert!(masked.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(spmm_masked(&Csr::empty(0, 6), &b, &[]).shape(), (0, 3));
+        assert_eq!(
+            spmm_masked(&Csr::empty(4, 6), &Mat::zeros(6, 0), &[]).shape(),
+            (4, 0)
+        );
+    }
+
+    #[test]
+    fn skewed_rows_partition_to_bounded_tasks() {
+        // Regression for the old uniform-row chunking: on a power-law-like
+        // matrix the partition actually used by spmm must keep the max/mean
+        // per-task nnz ratio bounded.
+        let mut coo = Coo::new(400, 400);
+        for c in 0..399u32 {
+            coo.push(0, c, 0.5); // one hub row with ~all the mass
+        }
+        for r in 1..400u32 {
+            coo.push(r, r - 1, 1.0);
+        }
+        let a = coo.to_csr();
+        let b = Mat::random(400, 4, 1.0, 17);
+        let c = spmm(&a, &b); // forces the cached partition into existence
+        assert_eq!(c.shape(), (400, 4));
+        let bounds = a.nnz_partition(0); // hint ignored: already cached
+        let tasks = bounds.len() - 1;
+        assert!(tasks >= 2, "expected a multi-task partition");
+        let per_task: Vec<usize> = bounds
+            .windows(2)
+            .map(|w| a.indptr()[w[1]] - a.indptr()[w[0]])
+            .collect();
+        let max = *per_task.iter().max().unwrap() as f64;
+        let mean = a.nnz() as f64 / tasks as f64;
+        // The hub row is indivisible, so one task necessarily owns it; the
+        // bound below fails for uniform row chunking (ratio ~tasks/2) and
+        // holds for the nnz-balanced partition.
+        assert!(
+            max / mean <= (399.0 / mean).max(1.5),
+            "per-task nnz skew unbounded: max {max}, mean {mean}"
+        );
     }
 
     #[test]

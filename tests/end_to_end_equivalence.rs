@@ -3,7 +3,7 @@
 //! "all three implementations compute identical outputs, with small
 //! differences due to reordering of floating point operations".
 
-use gnn_rdm::core::{train_gcn, Plan, TrainerConfig};
+use gnn_rdm::core::{best_plan, train_gcn, Plan, TrainerConfig};
 use gnn_rdm::graph::DatasetSpec;
 
 fn dataset() -> gnn_rdm::graph::Dataset {
@@ -99,6 +99,43 @@ fn three_layer_systems_agree_too() {
     );
     for (a, b) in rdm.iter().zip(&cag) {
         assert!((a - b).abs() < 2e-3, "3-layer loss {a} vs {b}");
+    }
+}
+
+#[test]
+fn steady_state_epochs_allocate_no_fresh_buffers() {
+    // The quickstart configuration from the README: after the first epoch
+    // has populated every rank's workspace shelf, later epochs replay the
+    // identical allocation schedule and must be served entirely from
+    // recycled buffers — the `ws_fresh` counter (fresh heap allocations
+    // observed by the per-rank workspace pool) stays at zero from epoch 2
+    // onward, while `ws_reused` shows the pool is actually being used.
+    let ds = DatasetSpec::synthetic("demo", 5_000, 40_000, 32, 8).instantiate(42);
+    let p = 4;
+    let plan = best_plan(&ds.shape(64), p);
+    let report = train_gcn(
+        &ds,
+        &TrainerConfig::rdm(p, plan).hidden(64).epochs(4).lr(0.02),
+    )
+    .unwrap();
+    assert!(
+        report.epochs[0].ws_fresh() > 0,
+        "epoch 1 should warm the pool with fresh allocations"
+    );
+    for e in &report.epochs[1..] {
+        assert_eq!(
+            e.ws_fresh(),
+            0,
+            "epoch {} performed {} fresh kernel/redistribution allocations \
+             (steady state must be allocation-free)",
+            e.epoch + 1,
+            e.ws_fresh()
+        );
+        assert!(
+            e.ws_reused() > 0,
+            "epoch {} never touched the workspace pool",
+            e.epoch + 1
+        );
     }
 }
 

@@ -110,6 +110,67 @@ fn overlapped_training_is_bitwise_blocking_everywhere() {
     }
 }
 
+/// `(loss, train_acc, test_acc)` bit patterns for one epoch.
+type EpochBits = (u32, u32, u32);
+
+#[test]
+fn trajectories_match_pre_pool_goldens() {
+    // The pooled worker runtime, the nnz-balanced SpMM partition and the
+    // workspace pool are all required to be bitwise no-ops. These loss /
+    // accuracy bit patterns were recorded on the spawn-per-call,
+    // row-uniform, allocating runtime immediately before the pooled
+    // runtime landed; any drift means a kernel changed its accumulation
+    // order.
+    let golden: [(usize, [EpochBits; 3]); 4] = [
+        (
+            0,
+            [
+                (1070767628, 1047486570, 1046952398),
+                (1070624031, 1049338601, 1048846600),
+                (1070484119, 1050210144, 1048846600),
+            ],
+        ),
+        (
+            5,
+            [
+                (1070767628, 1047486570, 1046952398),
+                (1070624031, 1049338601, 1048846600),
+                (1070484118, 1050210144, 1048846600),
+            ],
+        ),
+        (
+            10,
+            [
+                (1070767628, 1047486570, 1046952398),
+                (1070624031, 1049338601, 1048846600),
+                (1070484118, 1050210144, 1048846600),
+            ],
+        ),
+        (
+            15,
+            [
+                (1070767628, 1047486570, 1046952398),
+                (1070624031, 1049338601, 1048846600),
+                (1070484118, 1050210144, 1048846600),
+            ],
+        ),
+    ];
+    let ds = dataset();
+    for (id, expect) in golden {
+        let r = report(
+            &ds,
+            TrainerConfig::rdm(4, Plan::from_id(id, 2, 4))
+                .hidden(8)
+                .epochs(3),
+        );
+        assert_eq!(
+            trajectory(&r),
+            expect.to_vec(),
+            "id={id}: pooled runtime drifted from the pre-pool golden trajectory"
+        );
+    }
+}
+
 #[test]
 fn overlapped_matches_single_rank_reference() {
     // Same mathematics as one device, up to FP reassociation across P.

@@ -91,6 +91,34 @@ fn tracing_changes_nothing_observable() {
 }
 
 #[test]
+fn traced_trajectory_matches_pre_pool_golden() {
+    // Recorded on the spawn-per-call runtime immediately before the
+    // persistent pool / nnz-balanced partition / workspace pool landed:
+    // the traced run must still hit these exact bits.
+    let golden: [(u32, u32, u32); 2] = [
+        (1070767628, 1047486570, 1046952398),
+        (1070624032, 1049338601, 1048846600),
+    ];
+    let ds = dataset();
+    let r = report(
+        &ds,
+        TrainerConfig::rdm(2, Plan::from_id(0, 2, 2))
+            .hidden(8)
+            .epochs(2)
+            .trace(),
+    );
+    let got: Vec<(u32, u32, u32)> = trajectory(&r)
+        .iter()
+        .map(|&(l, tr, te, _, _, _)| (l, tr, te))
+        .collect();
+    assert_eq!(
+        got,
+        golden.to_vec(),
+        "pooled runtime drifted from the pre-pool golden trajectory"
+    );
+}
+
+#[test]
 fn same_seed_runs_serialize_to_identical_normalized_json() {
     let ds = dataset();
     let cfg = TrainerConfig::rdm(2, Plan::from_id(0, 2, 2))
