@@ -30,6 +30,39 @@ fn bench_redistribution(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sparse_redistribution(c: &mut Criterion) {
+    // The sparsity-aware indexed-strip path on a payload with one third of
+    // its rows bit-zero (isolated vertices under self-loop-free row
+    // aggregation). Compare against `redistribute_h_to_v` above for the
+    // packing overhead vs volume saving trade.
+    let mut group = c.benchmark_group("redistribute_h_to_v_sparse");
+    group.sample_size(20);
+    for &p in &[2usize, 4, 8] {
+        let &(n, f) = &(20_000usize, 128usize);
+        group.throughput(Throughput::Bytes((n * f * 4) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}_n{n}_f{f}")),
+            &(p, n, f),
+            |b, &(p, n, f)| {
+                b.iter(|| {
+                    Cluster::new(p).run(|ctx| {
+                        let rows = part_range(n, p, ctx.rank());
+                        let local = Mat::from_fn(rows.len(), f, |r, _| {
+                            if (rows.start + r).is_multiple_of(3) {
+                                0.0
+                            } else {
+                                1.0
+                            }
+                        });
+                        ctx.redistribute_h_to_v_sparse(&local, CollectiveKind::Redistribute)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_divide_merge(c: &mut Criterion) {
     // The local kernels of Fig. 7 in isolation (no threads).
     let mut group = c.benchmark_group("divide_merge");
@@ -40,5 +73,10 @@ fn bench_divide_merge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_redistribution, bench_divide_merge);
+criterion_group!(
+    benches,
+    bench_redistribution,
+    bench_sparse_redistribution,
+    bench_divide_merge
+);
 criterion_main!(benches);

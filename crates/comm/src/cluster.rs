@@ -165,12 +165,31 @@ impl RankCtx {
     /// # Panics
     /// If `dst` is this rank (use a local move instead) or out of range.
     pub fn send(&self, dst: usize, msg: Mat, kind: CollectiveKind) {
+        self.send_accounted(dst, msg, kind, None);
+    }
+
+    /// Point-to-point send of a sparsity-compressed payload standing in
+    /// for `dense_bytes` dense-equivalent bytes. Actual wire bytes are
+    /// charged to `kind` as usual; the dense figure keeps the paper's
+    /// volume formulas checkable as the upper bound.
+    ///
+    /// # Panics
+    /// Like [`RankCtx::send`]; additionally if the payload exceeds
+    /// `dense_bytes` (compression must never inflate).
+    pub fn send_compressed(&self, dst: usize, msg: Mat, kind: CollectiveKind, dense_bytes: usize) {
+        self.send_accounted(dst, msg, kind, Some(dense_bytes));
+    }
+
+    fn send_accounted(&self, dst: usize, msg: Mat, kind: CollectiveKind, dense: Option<usize>) {
         assert_ne!(dst, self.rank, "self-send: keep the data local instead");
         assert!(dst < self.size(), "send to rank {dst} out of range");
         let t0 = Instant::now();
         let receipt = self.fabric.send(self.rank, dst, msg);
         let mut st = self.stats.borrow_mut();
-        st.record_send(kind, receipt.bytes);
+        match dense {
+            None => st.record_send(kind, receipt.bytes),
+            Some(d) => st.record_send_compressed(kind, receipt.bytes, d),
+        }
         st.record_retransmits(
             receipt.retries,
             receipt.retransmit_bytes,
@@ -183,6 +202,7 @@ impl RankCtx {
                 kind: kind.trace_tag(),
                 peer: dst,
                 bytes: receipt.bytes,
+                dense_bytes: dense.unwrap_or(receipt.bytes),
                 msg_seq: receipt.seq,
             });
             // One Retry instant per injected drop; attempt k's backoff is

@@ -19,6 +19,7 @@
 
 use crate::cluster::{PendingRecv, RankCtx};
 use crate::stats::CollectiveKind;
+use crate::strip::{self, Expect};
 use rdm_dense::{add_assign, hstack, part_range, vstack, Mat};
 use rdm_trace::{Form, Span};
 
@@ -166,6 +167,78 @@ impl RankCtx {
         self.group_all_to_all(&group, parts, kind)
     }
 
+    /// Send one redistribution piece, packed as an indexed strip when that
+    /// is strictly smaller (see [`crate::strip`]); raw otherwise. Either
+    /// way the stats book `piece.nbytes()` as the dense-equivalent volume.
+    fn send_piece_sparse(&self, dst: usize, piece: Mat, kind: CollectiveKind) {
+        match strip::pack_nonzero_rows(&piece) {
+            Some(s) => self.send_compressed(dst, s, kind, piece.nbytes()),
+            None => self.send(dst, piece, kind),
+        }
+    }
+
+    /// Sparsity-aware personalized all-to-all within `group`: semantics of
+    /// [`RankCtx::group_all_to_all`] with bit-identical results, but every
+    /// shipped piece is adaptively packed as an indexed strip
+    /// ([`crate::strip`]) when its bit-zero rows make that strictly
+    /// smaller. `axis` names the link geometry the receiver can rely on to
+    /// tell strips from raw pieces: `Cols` for Row→Col redistributions
+    /// (every incoming piece spans this rank's column slice), `Rows` for
+    /// Col→Row.
+    ///
+    /// Actual bytes per link never exceed the dense all-to-all's; the
+    /// dense-equivalent figure is preserved in `CommStats::dense_bytes`.
+    ///
+    /// # Panics
+    /// If `parts.len() != group.len()`.
+    pub fn group_all_to_all_sparse(
+        &self,
+        group: &[usize],
+        mut parts: Vec<Mat>,
+        axis: ChunkAxis,
+        kind: CollectiveKind,
+    ) -> Vec<Mat> {
+        assert_eq!(
+            parts.len(),
+            group.len(),
+            "all_to_all needs one part per group member"
+        );
+        let my_idx = self.group_index(group);
+        let expect = match axis {
+            ChunkAxis::Cols => Expect::Cols(parts[my_idx].cols()),
+            ChunkAxis::Rows => Expect::Rows(parts[my_idx].rows()),
+        };
+        let my_part = std::mem::replace(&mut parts[my_idx], Mat::zeros(0, 0));
+        for (idx, &dst) in group.iter().enumerate() {
+            if idx != my_idx {
+                let p = std::mem::replace(&mut parts[idx], Mat::zeros(0, 0));
+                self.send_piece_sparse(dst, p, kind);
+            }
+        }
+        group
+            .iter()
+            .enumerate()
+            .map(|(idx, &src)| {
+                if idx == my_idx {
+                    my_part.clone()
+                } else {
+                    strip::unpack_rows(self.recv(src), expect)
+                }
+            })
+            .collect()
+    }
+
+    /// Whole-cluster [`RankCtx::group_all_to_all_sparse`].
+    pub fn all_to_all_sparse(
+        &self,
+        parts: Vec<Mat>,
+        axis: ChunkAxis,
+        kind: CollectiveKind,
+    ) -> Vec<Mat> {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_all_to_all_sparse(&group, parts, axis, kind)
+    }
+
     /// Chunk-pipelined personalized all-to-all within `group`: every peer
     /// block `parts[j]` is split into `chunks` sub-blocks along `axis` and
     /// shipped **chunk-major** (all of chunk 0 to every peer, then all of
@@ -185,10 +258,39 @@ impl RankCtx {
     pub fn group_all_to_all_chunked<'g>(
         &'g self,
         group: &'g [usize],
+        parts: Vec<Mat>,
+        axis: ChunkAxis,
+        chunks: usize,
+        kind: CollectiveKind,
+    ) -> ChunkedAllToAll<'g> {
+        self.group_all_to_all_chunked_inner(group, parts, axis, chunks, kind, false)
+    }
+
+    /// Sparsity-aware [`RankCtx::group_all_to_all_chunked`]: every
+    /// sub-block is adaptively packed as an indexed strip exactly like
+    /// [`RankCtx::group_all_to_all_sparse`] packs whole pieces, and
+    /// [`ChunkedAllToAll::recv_chunk`] unpacks transparently. Results and
+    /// chunk boundaries are bit-identical to the dense pipeline; only
+    /// actual wire bytes shrink.
+    pub fn group_all_to_all_chunked_sparse<'g>(
+        &'g self,
+        group: &'g [usize],
+        parts: Vec<Mat>,
+        axis: ChunkAxis,
+        chunks: usize,
+        kind: CollectiveKind,
+    ) -> ChunkedAllToAll<'g> {
+        self.group_all_to_all_chunked_inner(group, parts, axis, chunks, kind, true)
+    }
+
+    fn group_all_to_all_chunked_inner<'g>(
+        &'g self,
+        group: &'g [usize],
         mut parts: Vec<Mat>,
         axis: ChunkAxis,
         chunks: usize,
         kind: CollectiveKind,
+        sparse: bool,
     ) -> ChunkedAllToAll<'g> {
         assert_eq!(
             parts.len(),
@@ -213,7 +315,12 @@ impl RankCtx {
         for q in 0..chunks {
             for (idx, &dst) in group.iter().enumerate() {
                 if idx != my_idx {
-                    self.isend(dst, sub_block(&parts[idx], axis, chunks, q), kind);
+                    let piece = sub_block(&parts[idx], axis, chunks, q);
+                    if sparse {
+                        self.send_piece_sparse(dst, piece, kind);
+                    } else {
+                        self.isend(dst, piece, kind);
+                    }
                 }
             }
         }
@@ -225,6 +332,7 @@ impl RankCtx {
             axis,
             chunks,
             next: 0,
+            sparse,
             _span: span,
         }
     }
@@ -379,6 +487,32 @@ impl RankCtx {
         vstack(&received)
     }
 
+    /// Sparsity-aware [`RankCtx::group_redistribute_h_to_v`]: bit-identical
+    /// result, bit-zero rows of each shipped piece elided on the wire.
+    pub fn group_redistribute_h_to_v_sparse(
+        &self,
+        group: &[usize],
+        local: &Mat,
+        kind: CollectiveKind,
+    ) -> Mat {
+        let _span = rdm_trace::span(Span::Redistribute {
+            from: Form::Row,
+            to: Form::Col,
+            chunks: 1,
+            kind: kind.trace_tag(),
+        });
+        let g = group.len();
+        let parts = rdm_dense::split_cols(local, g);
+        let received = self.group_all_to_all_sparse(group, parts, ChunkAxis::Cols, kind);
+        vstack(&received)
+    }
+
+    /// Whole-cluster [`RankCtx::group_redistribute_h_to_v_sparse`].
+    pub fn redistribute_h_to_v_sparse(&self, local: &Mat, kind: CollectiveKind) -> Mat {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_redistribute_h_to_v_sparse(&group, local, kind)
+    }
+
     /// Redistribute a **column-sliced** global matrix to **row-sliced**
     /// (Fig. 7b): divide the local column slice into per-member row chunks,
     /// exchange, merge horizontally.
@@ -405,6 +539,32 @@ impl RankCtx {
         let received = self.group_all_to_all(group, parts, kind);
         hstack(&received)
     }
+
+    /// Sparsity-aware [`RankCtx::group_redistribute_v_to_h`]: bit-identical
+    /// result, bit-zero rows of each shipped piece elided on the wire.
+    pub fn group_redistribute_v_to_h_sparse(
+        &self,
+        group: &[usize],
+        local: &Mat,
+        kind: CollectiveKind,
+    ) -> Mat {
+        let _span = rdm_trace::span(Span::Redistribute {
+            from: Form::Col,
+            to: Form::Row,
+            chunks: 1,
+            kind: kind.trace_tag(),
+        });
+        let g = group.len();
+        let parts = rdm_dense::split_rows(local, g);
+        let received = self.group_all_to_all_sparse(group, parts, ChunkAxis::Rows, kind);
+        hstack(&received)
+    }
+
+    /// Whole-cluster [`RankCtx::group_redistribute_v_to_h_sparse`].
+    pub fn redistribute_v_to_h_sparse(&self, local: &Mat, kind: CollectiveKind) -> Mat {
+        let group: Vec<usize> = (0..self.size()).collect();
+        self.group_redistribute_v_to_h_sparse(&group, local, kind)
+    }
 }
 
 /// The receive side of an in-flight chunk-pipelined all-to-all (created by
@@ -422,6 +582,9 @@ pub struct ChunkedAllToAll<'g> {
     axis: ChunkAxis,
     chunks: usize,
     next: usize,
+    /// Sparsity-aware pipeline: incoming pieces may be indexed strips and
+    /// are unpacked by [`ChunkedAllToAll::recv_chunk`].
+    sparse: bool,
     /// Keeps the redistribution span open until the pipeline is dropped,
     /// so overlapped strip compute is recorded *inside* the span.
     _span: rdm_trace::SpanGuard,
@@ -452,6 +615,13 @@ impl ChunkedAllToAll<'_> {
         }
         let q = self.next;
         self.next += 1;
+        // On the sparse pipeline the receiver derives chunk q's raw
+        // geometry from its own block: every incoming piece shares this
+        // rank's slice of the split axis.
+        let expect = match self.axis {
+            ChunkAxis::Cols => Expect::Cols(part_range(self.my_part.cols(), self.chunks, q).len()),
+            ChunkAxis::Rows => Expect::Rows(part_range(self.my_part.rows(), self.chunks, q).len()),
+        };
         let pending: Vec<Option<PendingRecv>> = self
             .group
             .iter()
@@ -461,7 +631,14 @@ impl ChunkedAllToAll<'_> {
         let pieces = pending
             .into_iter()
             .map(|handle| match handle {
-                Some(h) => h.wait(self.ctx),
+                Some(h) => {
+                    let got = h.wait(self.ctx);
+                    if self.sparse {
+                        strip::unpack_rows(got, expect)
+                    } else {
+                        got
+                    }
+                }
                 None => sub_block(&self.my_part, self.axis, self.chunks, q),
             })
             .collect();
@@ -647,6 +824,169 @@ mod tests {
         assert!(retries > 0, "fault plan never fired");
         for r in 0..p {
             assert_eq!(clean.stats[r].total_bytes(), faulty.stats[r].total_bytes());
+        }
+    }
+
+    /// A global matrix with a deterministic mix of bit-zero and nonzero
+    /// rows: row i is zero unless `i % 3 == 0`.
+    fn sparse_global(n: usize, f: usize) -> Mat {
+        Mat::from_fn(n, f, |i, j| {
+            if i % 3 == 0 {
+                (i * 100 + j + 1) as f32
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn sparse_redistributions_match_dense_bitwise() {
+        for p in [2usize, 3, 4] {
+            let global = sparse_global(13, 9);
+            let g2 = global.clone();
+            let out = Cluster::new(p).run(move |ctx| {
+                let r = part_range(13, p, ctx.rank());
+                let local = g2.row_block(r.start, r.end);
+                let dense_v = ctx.redistribute_h_to_v(&local, K);
+                let sparse_v = ctx.redistribute_h_to_v_sparse(&local, K);
+                assert_eq!(dense_v, sparse_v, "p={p} h_to_v");
+                let dense_h = ctx.redistribute_v_to_h(&dense_v, K);
+                let sparse_h = ctx.redistribute_v_to_h_sparse(&sparse_v, K);
+                assert_eq!(dense_h, sparse_h, "p={p} v_to_h");
+                assert_eq!(dense_h, local, "p={p} roundtrip");
+            });
+            drop(out);
+        }
+    }
+
+    #[test]
+    fn sparse_redistribution_saves_bytes_and_books_dense_equivalent() {
+        let p = 4;
+        let n = 32;
+        let f = 8;
+        let run = |sparse: bool| {
+            Cluster::new(p).run(move |ctx| {
+                let global = sparse_global(n, f);
+                let r = part_range(n, p, ctx.rank());
+                let local = global.row_block(r.start, r.end);
+                if sparse {
+                    ctx.redistribute_h_to_v_sparse(&local, CollectiveKind::Redistribute)
+                } else {
+                    ctx.redistribute_h_to_v(&local, CollectiveKind::Redistribute)
+                }
+            })
+        };
+        let dense = run(false);
+        let sparse = run(true);
+        assert_eq!(dense.results, sparse.results);
+        let dense_actual: u64 = dense.stats.iter().map(|s| s.total_bytes()).sum();
+        let sparse_actual: u64 = sparse.stats.iter().map(|s| s.total_bytes()).sum();
+        let sparse_equiv: u64 = sparse
+            .stats
+            .iter()
+            .map(|s| s.dense_bytes(CollectiveKind::Redistribute))
+            .sum();
+        // The dense-equivalent figure reproduces the paper's (P-1)/P·N·f
+        // formula exactly while actual wire bytes drop below it.
+        let formula = ((p - 1) * n * f * 4 / p) as u64;
+        assert_eq!(dense_actual, formula);
+        assert_eq!(sparse_equiv, formula);
+        assert!(
+            sparse_actual < dense_actual,
+            "sparse {sparse_actual} !< dense {dense_actual}"
+        );
+    }
+
+    #[test]
+    fn sparse_never_exceeds_dense_even_on_incompressible_data() {
+        // Fully dense payload: adaptive packing must fall back to raw
+        // sends, keeping actual == dense-equivalent bytes.
+        let p = 3;
+        let out = Cluster::new(p).run(move |ctx| {
+            let global = Mat::from_fn(12, 6, |i, j| (i * 10 + j + 1) as f32);
+            let r = part_range(12, p, ctx.rank());
+            let local = global.row_block(r.start, r.end);
+            ctx.redistribute_h_to_v_sparse(&local, CollectiveKind::Redistribute)
+        });
+        for st in &out.stats {
+            assert_eq!(
+                st.bytes(CollectiveKind::Redistribute),
+                st.dense_bytes(CollectiveKind::Redistribute)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_chunked_matches_dense_chunked_bitwise() {
+        for p in [2usize, 3] {
+            for chunks in [1usize, 2, 3, 5] {
+                Cluster::new(p).run(move |ctx| {
+                    let global = sparse_global(11, 7);
+                    let r = part_range(11, p, ctx.rank());
+                    let local = global.row_block(r.start, r.end);
+                    let parts = rdm_dense::split_cols(&local, p);
+                    let group: Vec<usize> = (0..p).collect();
+                    let mut dense_pipe = ctx.group_all_to_all_chunked(
+                        &group,
+                        parts.clone(),
+                        ChunkAxis::Cols,
+                        chunks,
+                        K,
+                    );
+                    let mut dense_chunks = Vec::new();
+                    while let Some(pieces) = dense_pipe.recv_chunk() {
+                        dense_chunks.push(pieces);
+                    }
+                    drop(dense_pipe);
+                    let mut sparse_pipe = ctx.group_all_to_all_chunked_sparse(
+                        &group,
+                        parts,
+                        ChunkAxis::Cols,
+                        chunks,
+                        K,
+                    );
+                    let mut sparse_chunks = Vec::new();
+                    while let Some(pieces) = sparse_pipe.recv_chunk() {
+                        sparse_chunks.push(pieces);
+                    }
+                    assert_eq!(dense_chunks, sparse_chunks, "p={p} chunks={chunks}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_redistribution_survives_faults() {
+        use crate::fault::FaultPlan;
+        let p = 4;
+        let spmd = move |ctx: &RankCtx| {
+            let global = sparse_global(17, 6);
+            let r = part_range(17, p, ctx.rank());
+            let local = global.row_block(r.start, r.end);
+            let v = ctx.redistribute_h_to_v_sparse(&local, K);
+            let group: Vec<usize> = (0..p).collect();
+            let parts = rdm_dense::split_cols(&local, p);
+            let mut pipe =
+                ctx.group_all_to_all_chunked_sparse(&group, parts, ChunkAxis::Cols, 3, K);
+            let mut strips = Vec::new();
+            while let Some(pieces) = pipe.recv_chunk() {
+                strips.push(vstack(&pieces));
+            }
+            drop(pipe);
+            (v, hstack(&strips))
+        };
+        let clean = Cluster::new(p).run(spmd);
+        let faulty =
+            Cluster::with_faults(p, FaultPlan::new(42).drop_rate(0.3).delay(0.4, 3)).run(spmd);
+        assert_eq!(clean.results, faulty.results);
+        let retries: u64 = faulty.stats.iter().map(|s| s.retries).sum();
+        assert!(retries > 0, "fault plan never fired");
+        for r in 0..p {
+            assert_eq!(clean.stats[r].total_bytes(), faulty.stats[r].total_bytes());
+            assert_eq!(
+                clean.stats[r].total_dense_bytes(),
+                faulty.stats[r].total_dense_bytes()
+            );
         }
     }
 

@@ -23,16 +23,22 @@
 //!   ranks (needed by the `R_A < P` row-panel scheme of §III-E) and the
 //!   chunk-pipelined all-to-all ([`ChunkedAllToAll`]) that overlapped
 //!   redistribution is built on.
-//! * [`stats`] — byte, message, wall-time, retransmission and
-//!   hidden-communication accounting.
+//! * [`strip`] — the indexed-strip wire format of sparsity-aware
+//!   redistribution: bit-zero rows are elided on the wire and zero-filled
+//!   on receive, adaptively (never above the dense byte bound) and
+//!   losslessly (bit-identical reconstruction).
+//! * [`stats`] — byte, message, wall-time, retransmission,
+//!   hidden-communication and dense-equivalent-volume accounting.
 
 pub mod cluster;
 pub mod collectives;
 pub mod fault;
 pub mod mailbox;
 pub mod stats;
+pub mod strip;
 
 pub use cluster::{Cluster, PendingRecv, RankCtx};
 pub use collectives::{ChunkAxis, ChunkedAllToAll};
 pub use fault::{FaultPlan, Resolution};
 pub use stats::{CollectiveKind, CommStats};
+pub use strip::{pack_nonzero_rows, unpack_rows, Expect};

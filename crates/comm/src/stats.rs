@@ -88,6 +88,11 @@ pub struct CommStats {
 pub struct KindStats {
     pub bytes_sent: u64,
     pub messages: u64,
+    /// Dense-equivalent payload bytes: what the same messages would have
+    /// carried without sparsity compression. Equals `bytes_sent` for
+    /// uncompressed sends, so the paper's dense volume formulas stay
+    /// checkable as the upper bound (`bytes_sent <= dense_bytes` always).
+    pub dense_bytes: u64,
 }
 
 impl CommStats {
@@ -95,6 +100,23 @@ impl CommStats {
     pub fn record_send(&mut self, kind: CollectiveKind, bytes: usize) {
         let e = self.per_kind.entry(kind).or_default();
         e.bytes_sent += bytes as u64;
+        e.dense_bytes += bytes as u64;
+        e.messages += 1;
+    }
+
+    /// Record a sparsity-compressed send: `bytes` actually crossed the
+    /// link, standing in for `dense` dense-equivalent bytes.
+    ///
+    /// # Panics
+    /// If `bytes > dense` — compression must never inflate a payload.
+    pub fn record_send_compressed(&mut self, kind: CollectiveKind, bytes: usize, dense: usize) {
+        assert!(
+            bytes <= dense,
+            "compressed send of {bytes} B exceeds its dense equivalent {dense} B"
+        );
+        let e = self.per_kind.entry(kind).or_default();
+        e.bytes_sent += bytes as u64;
+        e.dense_bytes += dense as u64;
         e.messages += 1;
     }
 
@@ -133,6 +155,17 @@ impl CommStats {
         self.per_kind.get(&kind).map_or(0, |k| k.bytes_sent)
     }
 
+    /// Dense-equivalent bytes for one kind (= `bytes` unless some sends
+    /// were sparsity-compressed).
+    pub fn dense_bytes(&self, kind: CollectiveKind) -> u64 {
+        self.per_kind.get(&kind).map_or(0, |k| k.dense_bytes)
+    }
+
+    /// Total dense-equivalent bytes across all kinds.
+    pub fn total_dense_bytes(&self) -> u64 {
+        self.per_kind.values().map(|k| k.dense_bytes).sum()
+    }
+
     /// Messages sent for one kind.
     pub fn messages(&self, kind: CollectiveKind) -> u64 {
         self.per_kind.get(&kind).map_or(0, |k| k.messages)
@@ -143,6 +176,7 @@ impl CommStats {
         for (kind, ks) in &other.per_kind {
             let e = self.per_kind.entry(*kind).or_default();
             e.bytes_sent += ks.bytes_sent;
+            e.dense_bytes += ks.dense_bytes;
             e.messages += ks.messages;
         }
         self.comm_time += other.comm_time;
@@ -160,6 +194,7 @@ impl CommStats {
             let b = baseline.per_kind.get(kind).copied().unwrap_or_default();
             let e = out.per_kind.entry(*kind).or_default();
             e.bytes_sent = ks.bytes_sent.saturating_sub(b.bytes_sent);
+            e.dense_bytes = ks.dense_bytes.saturating_sub(b.dense_bytes);
             e.messages = ks.messages.saturating_sub(b.messages);
         }
         out.comm_time = self.comm_time.saturating_sub(baseline.comm_time);
@@ -188,6 +223,37 @@ mod tests {
         assert_eq!(s.bytes(CollectiveKind::Redistribute), 150);
         assert_eq!(s.messages(CollectiveKind::Broadcast), 1);
         assert_eq!(s.bytes(CollectiveKind::Halo), 0);
+    }
+
+    #[test]
+    fn compressed_sends_split_actual_and_dense() {
+        let mut s = CommStats::default();
+        s.record_send(CollectiveKind::Redistribute, 100);
+        s.record_send_compressed(CollectiveKind::Redistribute, 40, 100);
+        // Actual and dense-equivalent totals diverge by the saved bytes...
+        assert_eq!(s.bytes(CollectiveKind::Redistribute), 140);
+        assert_eq!(s.dense_bytes(CollectiveKind::Redistribute), 200);
+        assert_eq!(s.total_bytes(), 140);
+        assert_eq!(s.total_dense_bytes(), 200);
+        // ...and plain sends keep both counters coincident.
+        assert_eq!(s.dense_bytes(CollectiveKind::Halo), 0);
+
+        let mut merged = CommStats::default();
+        merged.record_send_compressed(CollectiveKind::Redistribute, 8, 20);
+        merged.merge(&s);
+        assert_eq!(merged.bytes(CollectiveKind::Redistribute), 148);
+        assert_eq!(merged.dense_bytes(CollectiveKind::Redistribute), 220);
+
+        let d = merged.delta_since(&s);
+        assert_eq!(d.bytes(CollectiveKind::Redistribute), 8);
+        assert_eq!(d.dense_bytes(CollectiveKind::Redistribute), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds its dense equivalent")]
+    fn compressed_send_larger_than_dense_panics() {
+        let mut s = CommStats::default();
+        s.record_send_compressed(CollectiveKind::Redistribute, 101, 100);
     }
 
     #[test]

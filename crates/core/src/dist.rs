@@ -143,19 +143,52 @@ impl DistMat {
         target: Dist,
         kind: CollectiveKind,
     ) -> Result<DistMat, RedistError> {
+        self.redistribute_inner(ctx, target, kind, false)
+    }
+
+    /// Sparsity-aware [`DistMat::redistribute`]: the Row↔Col all-to-all
+    /// ships indexed strips (`rdm_comm::strip`) instead of raw pieces
+    /// where that is strictly smaller. The result is **bit-identical** to
+    /// the dense path; `CommStats` books actual wire bytes alongside the
+    /// unchanged dense-equivalent volume. Transitions that move no bytes
+    /// behave exactly as in [`DistMat::redistribute`].
+    pub fn redistribute_sparse(
+        &self,
+        ctx: &RankCtx,
+        target: Dist,
+        kind: CollectiveKind,
+    ) -> Result<DistMat, RedistError> {
+        self.redistribute_inner(ctx, target, kind, true)
+    }
+
+    fn redistribute_inner(
+        &self,
+        ctx: &RankCtx,
+        target: Dist,
+        kind: CollectiveKind,
+        sparse: bool,
+    ) -> Result<DistMat, RedistError> {
         match (self.dist, target) {
             (a, b) if a == b => Ok(self.clone()),
             (Dist::Row, Dist::Col) => Ok(DistMat {
                 dist: Dist::Col,
                 rows: self.rows,
                 cols: self.cols,
-                local: ctx.redistribute_h_to_v(&self.local, kind),
+                local: if sparse {
+                    ctx.redistribute_h_to_v_sparse(&self.local, kind)
+                } else {
+                    ctx.redistribute_h_to_v(&self.local, kind)
+                },
             }),
             (Dist::Col, Dist::Row) => Ok(DistMat {
                 dist: Dist::Row,
                 rows: self.rows,
                 cols: self.cols,
-                local: ctx.redistribute_v_to_h(&self.local, kind),
+                local: if sparse {
+                    ctx.redistribute_v_to_h_sparse(&self.local, kind)
+                } else {
+                    ctx.redistribute_v_to_h(&self.local, kind)
+                },
             }),
             (Dist::Replicated, Dist::Row) => {
                 let r = part_range(self.rows, ctx.size(), ctx.rank());
@@ -203,6 +236,33 @@ impl DistMat {
         target: Dist,
         kind: CollectiveKind,
         chunks: usize,
+        sink: impl FnMut(usize, &Mat),
+    ) -> Result<DistMat, RedistError> {
+        self.redistribute_overlapped_inner(ctx, target, kind, chunks, false, sink)
+    }
+
+    /// Sparsity-aware [`DistMat::redistribute_overlapped`]: each pipeline
+    /// sub-block is adaptively packed as an indexed strip. Strip contents,
+    /// chunk boundaries and the reassembled result are bit-identical to
+    /// the dense pipeline; only actual wire bytes shrink.
+    pub fn redistribute_overlapped_sparse(
+        &self,
+        ctx: &RankCtx,
+        target: Dist,
+        kind: CollectiveKind,
+        chunks: usize,
+        sink: impl FnMut(usize, &Mat),
+    ) -> Result<DistMat, RedistError> {
+        self.redistribute_overlapped_inner(ctx, target, kind, chunks, true, sink)
+    }
+
+    fn redistribute_overlapped_inner(
+        &self,
+        ctx: &RankCtx,
+        target: Dist,
+        kind: CollectiveKind,
+        chunks: usize,
+        sparse: bool,
         mut sink: impl FnMut(usize, &Mat),
     ) -> Result<DistMat, RedistError> {
         assert!(chunks > 0, "need at least one chunk");
@@ -211,8 +271,17 @@ impl DistMat {
         match (self.dist, target) {
             (Dist::Row, Dist::Col) => {
                 let parts = rdm_dense::split_cols(&self.local, p);
-                let mut pipe =
-                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Cols, chunks, kind);
+                let mut pipe = if sparse {
+                    ctx.group_all_to_all_chunked_sparse(
+                        &group,
+                        parts,
+                        ChunkAxis::Cols,
+                        chunks,
+                        kind,
+                    )
+                } else {
+                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Cols, chunks, kind)
+                };
                 let mut units = Vec::with_capacity(chunks);
                 while let Some(pieces) = pipe.recv_chunk() {
                     let unit = vstack(&pieces);
@@ -228,8 +297,17 @@ impl DistMat {
             }
             (Dist::Col, Dist::Row) => {
                 let parts = rdm_dense::split_rows(&self.local, p);
-                let mut pipe =
-                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Rows, chunks, kind);
+                let mut pipe = if sparse {
+                    ctx.group_all_to_all_chunked_sparse(
+                        &group,
+                        parts,
+                        ChunkAxis::Rows,
+                        chunks,
+                        kind,
+                    )
+                } else {
+                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Rows, chunks, kind)
+                };
                 let mut units = Vec::with_capacity(chunks);
                 while let Some(pieces) = pipe.recv_chunk() {
                     let unit = hstack(&pieces);

@@ -148,21 +148,31 @@ fn spmm_via_col(
     let comm_s = chunk_comm_times(spec, ctx, row.local.rows(), row.local.cols(), true);
     let mut comp_s = Vec::with_capacity(spec.chunks);
     let mut strips: Vec<Mat> = Vec::with_capacity(spec.chunks);
-    let col = row
-        .redistribute_overlapped(
+    let on_strip = |q: usize, strip: &Mat| {
+        strips.push(rdm_sparse::spmm(panel, strip));
+        let fma = panel.nnz() as f64 * strip.cols() as f64;
+        ops.spmm_fma += fma;
+        comp_s.push(spec.device.compute_time(fma, 0.0));
+        record_strip(spec, q, &comm_s, &comp_s);
+    };
+    let col = if topo.sparse {
+        row.redistribute_overlapped_sparse(
             ctx,
             Dist::Col,
             CollectiveKind::Redistribute,
             spec.chunks,
-            |q, strip| {
-                strips.push(rdm_sparse::spmm(panel, strip));
-                let fma = panel.nnz() as f64 * strip.cols() as f64;
-                ops.spmm_fma += fma;
-                comp_s.push(spec.device.compute_time(fma, 0.0));
-                record_strip(spec, q, &comm_s, &comp_s);
-            },
+            on_strip,
         )
-        .expect("Row->Col is always pipelined");
+    } else {
+        row.redistribute_overlapped(
+            ctx,
+            Dist::Col,
+            CollectiveKind::Redistribute,
+            spec.chunks,
+            on_strip,
+        )
+    }
+    .expect("Row->Col is always pipelined");
     record_hidden(ctx, spec, &comm_s, &comp_s);
     let out = DistMat {
         dist: Dist::Col,
@@ -234,25 +244,35 @@ fn gemm_via_row(
     let comm_s = chunk_comm_times(spec, ctx, col.local.rows(), col.local.cols(), false);
     let mut comp_s = Vec::with_capacity(spec.chunks);
     let mut strips: Vec<Mat> = Vec::with_capacity(spec.chunks);
-    let row = col
-        .redistribute_overlapped(
+    let on_strip = |q: usize, strip: &Mat| {
+        strips.push(if transpose_w {
+            gemm_nt(strip, w)
+        } else {
+            gemm(strip, w)
+        });
+        let fma = strip.rows() as f64 * w.rows() as f64 * w.cols() as f64;
+        ops.gemm_fma += fma;
+        comp_s.push(spec.device.compute_time(0.0, fma));
+        record_strip(spec, q, &comm_s, &comp_s);
+    };
+    let row = if topo.sparse {
+        col.redistribute_overlapped_sparse(
             ctx,
             Dist::Row,
             CollectiveKind::Redistribute,
             spec.chunks,
-            |q, strip| {
-                strips.push(if transpose_w {
-                    gemm_nt(strip, w)
-                } else {
-                    gemm(strip, w)
-                });
-                let fma = strip.rows() as f64 * w.rows() as f64 * w.cols() as f64;
-                ops.gemm_fma += fma;
-                comp_s.push(spec.device.compute_time(0.0, fma));
-                record_strip(spec, q, &comm_s, &comp_s);
-            },
+            on_strip,
         )
-        .expect("Col->Row is always pipelined");
+    } else {
+        col.redistribute_overlapped(
+            ctx,
+            Dist::Row,
+            CollectiveKind::Redistribute,
+            spec.chunks,
+            on_strip,
+        )
+    }
+    .expect("Col->Row is always pipelined");
     record_hidden(ctx, spec, &comm_s, &comp_s);
     let out = DistMat {
         dist: Dist::Row,

@@ -128,6 +128,14 @@ impl EpochMetrics {
         self.comm.bytes(CollectiveKind::Redistribute)
     }
 
+    /// Dense-equivalent bytes of plan-level redistributions — the volume
+    /// the paper's `(P-1)/P·N·f` formulas price. Equals
+    /// [`EpochMetrics::redistribution_bytes`] on the dense wire path and
+    /// an upper bound for it on the sparsity-aware path.
+    pub fn redistribution_dense_bytes(&self) -> u64 {
+        self.comm.dense_bytes(CollectiveKind::Redistribute)
+    }
+
     /// Bytes attributed to SpMM-internal broadcasts (CAGNET / `R_A < P`).
     pub fn broadcast_bytes(&self) -> u64 {
         self.comm.bytes(CollectiveKind::Broadcast)
@@ -218,6 +226,20 @@ impl TrainReport {
             .map(|e| e.total_bytes as f64)
             .sum::<f64>()
             / self.epochs.len() as f64
+    }
+
+    /// Actual redistribution wire bytes over the whole run.
+    pub fn total_redistribution_bytes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.redistribution_bytes()).sum()
+    }
+
+    /// Dense-equivalent redistribution bytes over the whole run — the
+    /// paper-formula bound the sparsity-aware path stays under.
+    pub fn total_redistribution_dense_bytes(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| e.redistribution_dense_bytes())
+            .sum()
     }
 
     /// Fault-induced retransmission attempts over the whole run.

@@ -278,6 +278,12 @@ pub struct Topology {
     /// (mean/GraphSAGE normalization): the backward pass must multiply by
     /// the transpose. `None` for the symmetric GCN normalization.
     pub panel_t: Option<Csr>,
+    /// Route redistributions through the sparsity-aware indexed-strip path
+    /// (`rdm_comm::strip`): bit-zero rows of every shipped piece are
+    /// elided on the wire. Results are bit-identical to the dense path;
+    /// only actual bytes (and never the dense-equivalent accounting)
+    /// change. Off by default.
+    pub sparse: bool,
 }
 
 impl Topology {
@@ -296,6 +302,7 @@ impl Topology {
             n: adj.rows(),
             mask: None,
             panel_t: None,
+            sparse: false,
         }
     }
 
@@ -328,6 +335,12 @@ impl Topology {
             );
         }
         self.mask = mask;
+    }
+
+    /// Enable or disable sparsity-aware redistribution (see
+    /// [`Topology::sparse`]).
+    pub fn set_sparse(&mut self, sparse: bool) {
+        self.sparse = sparse;
     }
 
     /// Fully replicated topology (`r_a == p`).
@@ -428,7 +441,11 @@ impl Topology {
     pub fn tile_to_row(&self, m: &DistMat, ctx: &RankCtx, kind: CollectiveKind) -> DistMat {
         assert_eq!(m.dist, Dist::Col, "tile_to_row needs the tile layout");
         let group = self.grid.row_group(ctx.rank());
-        let local = ctx.group_redistribute_v_to_h(&group, &m.local, kind);
+        let local = if self.sparse {
+            ctx.group_redistribute_v_to_h_sparse(&group, &m.local, kind)
+        } else {
+            ctx.group_redistribute_v_to_h(&group, &m.local, kind)
+        };
         DistMat {
             dist: Dist::Row,
             rows: m.rows,
@@ -442,7 +459,11 @@ impl Topology {
     pub fn row_to_tile(&self, m: &DistMat, ctx: &RankCtx, kind: CollectiveKind) -> DistMat {
         assert_eq!(m.dist, Dist::Row, "row_to_tile needs row slices");
         let group = self.grid.row_group(ctx.rank());
-        let local = ctx.group_redistribute_h_to_v(&group, &m.local, kind);
+        let local = if self.sparse {
+            ctx.group_redistribute_h_to_v_sparse(&group, &m.local, kind)
+        } else {
+            ctx.group_redistribute_h_to_v(&group, &m.local, kind)
+        };
         DistMat {
             dist: Dist::Col,
             rows: m.rows,

@@ -1,6 +1,6 @@
 //! Execution plans and model-driven plan selection (§IV-B).
 
-use rdm_model::{pareto_configs, DeviceModel, GnnShape, Order, OrderConfig};
+use rdm_model::{DeviceModel, GnnShape, Order, OrderConfig};
 
 /// Re-export: the per-layer, per-pass order (SpMM-first / GEMM-first).
 pub type LayerOrder = Order;
@@ -67,7 +67,23 @@ pub fn best_plan(shape: &GnnShape, p: usize) -> Plan {
 
 /// [`best_plan`] with an explicit device model.
 pub fn best_plan_with(shape: &GnnShape, p: usize, device: &DeviceModel) -> Plan {
-    let candidates = pareto_configs(shape, p, p);
+    best_plan_with_sparsity(shape, p, device, 1.0)
+}
+
+/// [`best_plan_with`] re-priced for the sparsity-aware redistribution
+/// path: candidate communication volumes are scaled by `sigma`, the
+/// expected fraction of intermediate rows that carry data (use
+/// `1.0 - empty_row_fraction` of the normalized adjacency). With full
+/// replication the Pareto membership matches the dense pricing, but the
+/// device-model ranking sees cheaper communication and can shift toward
+/// compute-lighter candidates.
+pub fn best_plan_with_sparsity(
+    shape: &GnnShape,
+    p: usize,
+    device: &DeviceModel,
+    sigma: f64,
+) -> Plan {
+    let candidates = rdm_model::pareto_configs_with_sparsity(shape, p, p, sigma);
     let best = candidates
         .into_iter()
         .min_by(|(_, a), (_, b)| {
@@ -108,6 +124,21 @@ mod tests {
         let shape = GnnShape::gcn(232_965, 114_848_857, 602, 128, 41, 2);
         let plan = best_plan(&shape, 8);
         assert!([2, 3, 10].contains(&plan.id()), "picked {}", plan.id());
+    }
+
+    #[test]
+    fn sparse_repricing_still_picks_a_pareto_member() {
+        let shape = GnnShape::gcn(10_000, 100_000, 602, 128, 41, 2);
+        let device = DeviceModel::a6000_pcie();
+        for sigma in [1.0, 0.6, 0.2] {
+            let plan = best_plan_with_sparsity(&shape, 8, &device, sigma);
+            let pareto = rdm_model::pareto_ids(&shape, 8, 8);
+            assert!(
+                pareto.contains(&plan.id()),
+                "sigma={sigma}: chosen {} not in pareto {pareto:?}",
+                plan.id()
+            );
+        }
     }
 
     #[test]

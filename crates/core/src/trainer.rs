@@ -71,6 +71,12 @@ pub struct TrainerConfig {
     /// runs beyond a thread-local check, so results, payload counters and
     /// simulated epoch times are bit-identical to a build without tracing.
     pub trace: bool,
+    /// Route every RDM redistribution through the sparsity-aware
+    /// indexed-strip path (RDM algorithms only). Results are bit-identical
+    /// to the dense path; [`rdm_comm::CommStats`] keeps booking the
+    /// dense-equivalent volume alongside the (smaller or equal) actual
+    /// wire bytes.
+    pub sparse: bool,
 }
 
 impl TrainerConfig {
@@ -138,6 +144,7 @@ impl TrainerConfig {
             fault_plan: None,
             overlap: None,
             trace: false,
+            sparse: false,
         }
     }
 
@@ -176,6 +183,14 @@ impl TrainerConfig {
     /// with the downstream kernel.
     pub fn overlap(mut self, chunks: usize) -> Self {
         self.overlap = Some(chunks);
+        self
+    }
+
+    /// Route every RDM redistribution through the sparsity-aware
+    /// indexed-strip path. Bit-identical results; never more wire bytes
+    /// than the dense path.
+    pub fn sparse(mut self) -> Self {
+        self.sparse = true;
         self
     }
 
@@ -251,10 +266,11 @@ impl RdmState {
         feats.push(ds.spec.labels);
         let weights = GcnWeights::init(&feats, cfg.seed);
         let adam = Adam::new(cfg.lr, &weights.shapes());
-        let topo = match &ds.adj_norm_t {
+        let mut topo = match &ds.adj_norm_t {
             None => Topology::new(&ds.adj_norm, plan.r_a, ctx),
             Some(t) => Topology::new_asym(&ds.adj_norm, t, plan.r_a, ctx),
         };
+        topo.set_sparse(cfg.sparse);
         let input_tile = topo.scatter_tile(&ds.features, ctx);
         let dynamic = match cfg.algo {
             Algo::RdmDynamic { trial_epochs } => {
@@ -447,7 +463,14 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
     );
     let resolved_plan = match &cfg.algo {
         Algo::Rdm { plan: Some(pl) } => Some(pl.clone()),
-        Algo::Rdm { plan: None } | Algo::RdmDynamic { .. } => Some(best_plan(&shape, cfg.p)),
+        Algo::Rdm { plan: None } | Algo::RdmDynamic { .. } => Some(if cfg.sparse {
+            // Sparse wire path: re-price candidate communication by the
+            // fraction of adjacency rows that aggregate anything at all.
+            let sigma = 1.0 - ds.adj_norm.empty_row_fraction();
+            crate::plan::best_plan_with_sparsity(&shape, cfg.p, &cfg.device, sigma)
+        } else {
+            best_plan(&shape, cfg.p)
+        }),
         _ => None,
     };
 

@@ -248,6 +248,19 @@ impl Dataset {
         self.adj_norm = m;
         self
     }
+
+    /// Switch to self-loop-free row aggregation (`D^{-1}A`): mean
+    /// aggregation without the added self-loops, so isolated vertices
+    /// aggregate nothing and their intermediate rows stay exactly zero.
+    /// Those all-zero rows are what the sparsity-aware redistribution
+    /// path compresses away on the wire. Non-symmetric (RDM-only), like
+    /// [`Dataset::with_mean_aggregation`].
+    pub fn with_row_aggregation(mut self) -> Dataset {
+        let m = rdm_sparse::row_normalize(&self.adj);
+        self.adj_norm_t = Some(m.transpose());
+        self.adj_norm = m;
+        self
+    }
 }
 
 /// The eight evaluation datasets of Table V, at full paper scale.

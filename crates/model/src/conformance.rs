@@ -5,7 +5,7 @@
 //! flag) into the exact per-rank sequence of schedule-level events one
 //! training epoch must produce — redistribution directions and payload
 //! bytes, SpMM/GEMM kernel shapes, weight-gradient ring all-reduce bytes —
-//! by symbolically executing the same lazy [`FormCache`] logic as the GCN
+//! by symbolically executing the same lazy `FormCache` logic as the GCN
 //! engine. [`extract_epoch`] reduces a recorded `rdm_trace::RankTrace` to
 //! the same event vocabulary, and [`check_run`] diffs the two, reporting
 //! every mismatch with its rank, epoch and event index.
@@ -416,7 +416,10 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
             from: Form,
             to: Form,
             kind: TraceCollective,
+            /// Actual wire bytes (compressed when the sparse path packed).
             bytes: u64,
+            /// Dense-equivalent bytes — what the schedule predictor prices.
+            dense: u64,
         },
         AllReduce {
             bytes: u64,
@@ -444,6 +447,7 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
                         to,
                         kind,
                         bytes: 0,
+                        dense: 0,
                     },
                     Span::AllReduce { .. } if in_epoch => Frame::AllReduce { bytes: 0 },
                     Span::Spmm { rows, cols, nnz } => {
@@ -477,23 +481,43 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
                         to,
                         kind,
                         bytes,
-                    } => out.push(SchedEvent::Redist {
-                        from,
-                        to,
-                        kind,
-                        bytes,
-                    }),
+                        dense,
+                    } => {
+                        // The predictor prices the dense-equivalent volume;
+                        // the sparse path may send less, never more.
+                        if bytes > dense {
+                            return Err(format!(
+                                "rank {}: redistribution sent {bytes} B, above its \
+                                 dense-equivalent {dense} B",
+                                trace.rank
+                            ));
+                        }
+                        out.push(SchedEvent::Redist {
+                            from,
+                            to,
+                            kind,
+                            bytes: dense,
+                        });
+                    }
                     Frame::AllReduce { bytes } => out.push(SchedEvent::AllReduce { bytes }),
                     Frame::Other => {}
                 }
             }
-            EventData::Collective { bytes, .. } => {
+            EventData::Collective {
+                bytes, dense_bytes, ..
+            } => {
                 // Payload attribution: only sends issued directly inside a
                 // redistribution or all-reduce span belong to the
                 // schedule; anything else (loss/accuracy scalar
                 // reductions) is unpriced traffic.
                 match stack.last_mut() {
-                    Some(Frame::Redist { bytes: b, .. }) | Some(Frame::AllReduce { bytes: b }) => {
+                    Some(Frame::Redist {
+                        bytes: b, dense, ..
+                    }) => {
+                        *b += bytes as u64;
+                        *dense += dense_bytes as u64;
+                    }
+                    Some(Frame::AllReduce { bytes: b }) => {
                         *b += bytes as u64;
                     }
                     _ => {}
@@ -750,6 +774,7 @@ mod tests {
                     kind: TraceCollective::Redistribute,
                     peer: 1,
                     bytes: 100,
+                    dense_bytes: 100,
                     msg_seq: 0,
                 },
             ),
@@ -759,6 +784,7 @@ mod tests {
                     kind: TraceCollective::Redistribute,
                     peer: 2,
                     bytes: 60,
+                    dense_bytes: 60,
                     msg_seq: 1,
                 },
             ),
@@ -770,6 +796,7 @@ mod tests {
                     kind: TraceCollective::AllReduce,
                     peer: 1,
                     bytes: 8,
+                    dense_bytes: 8,
                     msg_seq: 2,
                 },
             ),
@@ -819,6 +846,67 @@ mod tests {
         assert!(msg.contains("event 1"), "{msg}");
         assert!(msg.contains("10x5"), "{msg}");
         assert!(msg.contains("10x4"), "{msg}");
+    }
+
+    #[test]
+    fn extract_prices_compressed_sends_at_their_dense_volume() {
+        // A sparse-path send books fewer wire bytes than its
+        // dense-equivalent; the extracted schedule event must carry the
+        // dense total (what the predictor prices), and a send claiming
+        // MORE than its dense equivalent is a malformed trace.
+        let mk = |seq: u64, data: EventData| Event {
+            seq,
+            ts_ns: seq,
+            data,
+        };
+        let redist = Span::Redistribute {
+            from: Form::Row,
+            to: Form::Col,
+            chunks: 1,
+            kind: TraceCollective::Redistribute,
+        };
+        let send = |seq, bytes, dense_bytes| {
+            mk(
+                seq,
+                EventData::Collective {
+                    kind: TraceCollective::Redistribute,
+                    peer: 1,
+                    bytes,
+                    dense_bytes,
+                    msg_seq: seq,
+                },
+            )
+        };
+        let events = vec![
+            mk(0, EventData::Begin(Span::Epoch { idx: 0 })),
+            mk(1, EventData::Begin(redist)),
+            send(2, 40, 100),
+            send(3, 60, 60),
+            mk(4, EventData::End),
+            mk(5, EventData::End),
+        ];
+        let trace = RankTrace { rank: 0, events };
+        let got = extract_epoch(&trace, 0).unwrap();
+        assert_eq!(
+            got,
+            vec![SchedEvent::Redist {
+                from: Form::Row,
+                to: Form::Col,
+                kind: TraceCollective::Redistribute,
+                bytes: 160,
+            }]
+        );
+
+        let events = vec![
+            mk(0, EventData::Begin(Span::Epoch { idx: 0 })),
+            mk(1, EventData::Begin(redist)),
+            send(2, 104, 100),
+            mk(3, EventData::End),
+            mk(4, EventData::End),
+        ];
+        let trace = RankTrace { rank: 0, events };
+        let err = extract_epoch(&trace, 0).unwrap_err();
+        assert!(err.contains("above its dense-equivalent"), "{err}");
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Whole-network cost evaluation and the Pareto filter (§IV-B, Table VI).
 
 use crate::config::{Order, OrderConfig};
-use crate::layer::{backward_layer_cost, forward_layer_cost, redistribution_elems, LayerDims};
+use crate::layer::{
+    backward_layer_cost_with_sparsity, forward_layer_cost_with_sparsity, redistribution_elems,
+    LayerDims,
+};
 
 /// The shape of a GCN training problem: vertex count, edge count (nnz of
 /// the normalized adjacency), and the feature width of every boundary —
@@ -73,7 +76,8 @@ impl Cost {
 ///
 /// Implements the composition rules of §IV-A (verified against Table IV):
 ///
-/// * intra-layer cost per [`forward_layer_cost`] / [`backward_layer_cost`];
+/// * intra-layer cost per [`crate::layer::forward_layer_cost`] /
+///   [`crate::layer::backward_layer_cost`];
 /// * an extra redistribution of `f_l` between adjacent forward layers with
 ///   the same order, and of `f_l` between adjacent backward layers with the
 ///   same order;
@@ -83,6 +87,29 @@ impl Cost {
 ///   gradient leaves the loss row-sliced but the SpMM needs it
 ///   column-sliced).
 pub fn config_cost(shape: &GnnShape, cfg: &OrderConfig, p: usize, r_a: usize) -> Cost {
+    config_cost_with_sparsity(shape, cfg, p, r_a, 1.0)
+}
+
+/// [`config_cost`] re-priced for the sparsity-aware redistribution path:
+/// every redistribution term — intra-layer, inter-layer boundary, loss and
+/// gradient boundaries — is scaled by `sigma`, the expected fraction of
+/// intermediate rows that carry data (`1.0 - empty_row_fraction` of the
+/// normalized adjacency is the natural estimate, since rows of `Â·X` are
+/// all-zero exactly where `Â` has empty rows). Panel broadcasts under
+/// `R_A < P` stay dense — they do not ride the indexed-strip path. With
+/// `sigma = 1.0` this is exactly [`config_cost`], keeping the paper's
+/// Table IV/VI formulas as the dense bound.
+pub fn config_cost_with_sparsity(
+    shape: &GnnShape,
+    cfg: &OrderConfig,
+    p: usize,
+    r_a: usize,
+    sigma: f64,
+) -> Cost {
+    assert!(
+        (0.0..=1.0).contains(&sigma),
+        "sparsity factor {sigma} outside [0, 1]"
+    );
     let l = shape.layers();
     assert_eq!(cfg.layers(), l, "config layer count mismatch");
     let mut total = Cost::default();
@@ -92,22 +119,24 @@ pub fn config_cost(shape: &GnnShape, cfg: &OrderConfig, p: usize, r_a: usize) ->
     // all-to-alls under full replication, and row-group all-to-alls under
     // the R_A < P tiling.
     let boundary = |f: usize| -> f64 {
-        if r_a == p {
-            redistribution_elems(n, f, p)
-        } else {
-            crate::layer::group_redistribution_elems(n, f, r_a)
-        }
+        sigma
+            * if r_a == p {
+                redistribution_elems(n, f, p)
+            } else {
+                crate::layer::group_redistribution_elems(n, f, r_a)
+            }
     };
 
     // Forward pass.
     for layer in 1..=l {
-        let c = forward_layer_cost(
+        let c = forward_layer_cost_with_sparsity(
             shape.layer_dims(layer),
             cfg.forward[layer - 1],
             n,
             nnz,
             p,
             r_a,
+            sigma,
         );
         total.comm_elems += c.comm_elems;
         total.spmm_ops += c.spmm_ops;
@@ -131,7 +160,7 @@ pub fn config_cost(shape: &GnnShape, cfg: &OrderConfig, p: usize, r_a: usize) ->
     // Backward pass, executed from layer L down to 1.
     for layer in (1..=l).rev() {
         let fwd_was_s = cfg.forward[layer - 1] == Order::SpmmFirst;
-        let c = backward_layer_cost(
+        let c = backward_layer_cost_with_sparsity(
             shape.layer_dims(layer),
             cfg.backward[layer - 1],
             fwd_was_s,
@@ -139,6 +168,7 @@ pub fn config_cost(shape: &GnnShape, cfg: &OrderConfig, p: usize, r_a: usize) ->
             nnz,
             p,
             r_a,
+            sigma,
         );
         total.comm_elems += c.comm_elems;
         total.spmm_ops += c.spmm_ops;
@@ -155,10 +185,20 @@ pub fn config_cost(shape: &GnnShape, cfg: &OrderConfig, p: usize, r_a: usize) ->
 
 /// Every configuration with its cost, ordered by ID.
 pub fn all_config_costs(shape: &GnnShape, p: usize, r_a: usize) -> Vec<(OrderConfig, Cost)> {
+    all_config_costs_with_sparsity(shape, p, r_a, 1.0)
+}
+
+/// [`all_config_costs`] priced with a row-sparsity factor.
+pub fn all_config_costs_with_sparsity(
+    shape: &GnnShape,
+    p: usize,
+    r_a: usize,
+    sigma: f64,
+) -> Vec<(OrderConfig, Cost)> {
     OrderConfig::enumerate(shape.layers())
         .into_iter()
         .map(|cfg| {
-            let c = config_cost(shape, &cfg, p, r_a);
+            let c = config_cost_with_sparsity(shape, &cfg, p, r_a, sigma);
             (cfg, c)
         })
         .collect()
@@ -169,7 +209,22 @@ pub fn all_config_costs(shape: &GnnShape, p: usize, r_a: usize) -> Vec<(OrderCon
 /// with identical cost vectors only the lowest ID is kept, matching how the
 /// paper lists candidate IDs.
 pub fn pareto_configs(shape: &GnnShape, p: usize, r_a: usize) -> Vec<(OrderConfig, Cost)> {
-    let all = all_config_costs(shape, p, r_a);
+    pareto_configs_with_sparsity(shape, p, r_a, 1.0)
+}
+
+/// [`pareto_configs`] priced with a row-sparsity factor. With `r_a == p`
+/// the factor scales every candidate's communication uniformly, so the
+/// Pareto *membership* matches the dense pricing; under `R_A < P` the
+/// dense broadcast share shifts the trade-off and the set can differ.
+/// Either way the device-model ranking downstream sees the re-priced
+/// volumes.
+pub fn pareto_configs_with_sparsity(
+    shape: &GnnShape,
+    p: usize,
+    r_a: usize,
+    sigma: f64,
+) -> Vec<(OrderConfig, Cost)> {
+    let all = all_config_costs_with_sparsity(shape, p, r_a, sigma);
     let mut keep = Vec::new();
     'outer: for (i, (cfg, cost)) in all.iter().enumerate() {
         for (j, (_, other)) in all.iter().enumerate() {
@@ -290,6 +345,48 @@ mod tests {
             let c = config_cost(&shape, &cfg, p, r_a);
             assert!(c.comm_elems < prev);
             prev = c.comm_elems;
+        }
+    }
+
+    #[test]
+    fn sparsity_factor_scales_redistribution_but_not_broadcast() {
+        let shape = GnnShape::gcn(10_000, 200_000, 128, 128, 40, 2);
+        let cfg = OrderConfig::from_id(5, 2);
+        // sigma = 1 is exactly the dense pricing.
+        assert_eq!(
+            config_cost_with_sparsity(&shape, &cfg, 8, 8, 1.0),
+            config_cost(&shape, &cfg, 8, 8)
+        );
+        // Full replication: every comm term is a redistribution, so the
+        // volume scales linearly in sigma while compute is untouched.
+        let dense = config_cost(&shape, &cfg, 8, 8);
+        let half = config_cost_with_sparsity(&shape, &cfg, 8, 8, 0.5);
+        assert!((half.comm_elems - 0.5 * dense.comm_elems).abs() < 1e-6);
+        assert_eq!(half.spmm_ops, dense.spmm_ops);
+        assert_eq!(half.gemm_ops, dense.gemm_ops);
+        // R_A < P: the panel broadcast stays dense, so sigma = 0 leaves
+        // exactly the broadcast volume standing.
+        let tiled = config_cost_with_sparsity(&shape, &cfg, 8, 2, 0.0);
+        assert!(tiled.comm_elems > 0.0);
+        let tiled_dense = config_cost(&shape, &cfg, 8, 2);
+        assert!(tiled.comm_elems < tiled_dense.comm_elems);
+    }
+
+    #[test]
+    fn sparse_pareto_membership_matches_dense_under_full_replication() {
+        // Uniform scaling of one axis preserves dominance, so plan
+        // selection keeps choosing among the paper's Table VI candidates.
+        for &(name, f_in, f_h, f_out, _) in TABLE6 {
+            let shape = GnnShape::gcn(10_000, 100_000, f_in, f_h, f_out, 2);
+            let dense: Vec<usize> = pareto_configs(&shape, 8, 8)
+                .iter()
+                .map(|(c, _)| c.id())
+                .collect();
+            let sparse: Vec<usize> = pareto_configs_with_sparsity(&shape, 8, 8, 0.37)
+                .iter()
+                .map(|(c, _)| c.id())
+                .collect();
+            assert_eq!(dense, sparse, "dataset {name}");
         }
     }
 

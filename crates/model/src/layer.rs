@@ -69,6 +69,24 @@ pub fn forward_layer_cost(
     p: usize,
     r_a: usize,
 ) -> LayerCost {
+    forward_layer_cost_with_sparsity(dims, ord, n, nnz, p, r_a, 1.0)
+}
+
+/// [`forward_layer_cost`] with a row-sparsity factor `sigma` applied to
+/// every redistribution term. `sigma` is the expected fraction of
+/// intermediate rows that carry data (`1.0` = dense pricing); the
+/// indexed-strip wire path drops all-zero rows, so redistribution volume
+/// scales by `sigma` while the panel broadcast — which does not ride that
+/// path — stays dense.
+pub fn forward_layer_cost_with_sparsity(
+    dims: LayerDims,
+    ord: Order,
+    n: usize,
+    nnz: usize,
+    p: usize,
+    r_a: usize,
+    sigma: f64,
+) -> LayerCost {
     // Width of the intermediate that crosses between the two operations.
     let inter_width = match ord {
         Order::SpmmFirst => dims.f_in,
@@ -77,9 +95,9 @@ pub fn forward_layer_cost(
     let spmm_ops = nnz as f64 * inter_width as f64;
     let gemm_ops = n as f64 * dims.f_in as f64 * dims.f_out as f64;
     let comm_elems = if r_a == p {
-        redistribution_elems(n, inter_width, p)
+        sigma * redistribution_elems(n, inter_width, p)
     } else {
-        group_redistribution_elems(n, inter_width, r_a)
+        sigma * group_redistribution_elems(n, inter_width, r_a)
             + panel_broadcast_elems(n, inter_width, p, r_a)
     };
     LayerCost {
@@ -105,6 +123,22 @@ pub fn backward_layer_cost(
     p: usize,
     r_a: usize,
 ) -> LayerCost {
+    backward_layer_cost_with_sparsity(dims, ord, fwd_was_spmm_first, n, nnz, p, r_a, 1.0)
+}
+
+/// [`backward_layer_cost`] with a row-sparsity factor `sigma` on every
+/// redistribution term (see [`forward_layer_cost_with_sparsity`]).
+#[allow(clippy::too_many_arguments)]
+pub fn backward_layer_cost_with_sparsity(
+    dims: LayerDims,
+    ord: Order,
+    fwd_was_spmm_first: bool,
+    n: usize,
+    nnz: usize,
+    p: usize,
+    r_a: usize,
+    sigma: f64,
+) -> LayerCost {
     let inter_width = match ord {
         Order::SpmmFirst => dims.f_out, // A·Gˡ has width f_l
         Order::GemmFirst => dims.f_in,  // Gˡ·Wᵀ has width f_{l-1}
@@ -113,9 +147,9 @@ pub fn backward_layer_cost(
     // Two GEMMs: gradient propagation and the weight gradient.
     let gemm_ops = 2.0 * n as f64 * dims.f_in as f64 * dims.f_out as f64;
     let mut comm_elems = if r_a == p {
-        redistribution_elems(n, inter_width, p)
+        sigma * redistribution_elems(n, inter_width, p)
     } else {
-        group_redistribution_elems(n, inter_width, r_a)
+        sigma * group_redistribution_elems(n, inter_width, r_a)
             + panel_broadcast_elems(n, inter_width, p, r_a)
     };
     if ord == Order::GemmFirst && !fwd_was_spmm_first {
@@ -125,9 +159,10 @@ pub fn backward_layer_cost(
         let w = dims.f_in.min(dims.f_out);
         spmm_ops += nnz as f64 * w as f64;
         comm_elems += if r_a == p {
-            2.0 * redistribution_elems(n, w, p)
+            sigma * 2.0 * redistribution_elems(n, w, p)
         } else {
-            2.0 * group_redistribution_elems(n, w, r_a) + panel_broadcast_elems(n, w, p, r_a)
+            sigma * 2.0 * group_redistribution_elems(n, w, r_a)
+                + panel_broadcast_elems(n, w, p, r_a)
         };
     }
     LayerCost {

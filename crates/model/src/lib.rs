@@ -32,7 +32,10 @@ pub mod symbolic;
 
 pub use config::{Order, OrderConfig};
 pub use conformance::{check_epoch, check_run, predict_epoch, SchedEvent, Violation};
-pub use cost::{pareto_configs, pareto_ids, Cost, GnnShape};
+pub use cost::{
+    config_cost_with_sparsity, pareto_configs, pareto_configs_with_sparsity, pareto_ids, Cost,
+    GnnShape,
+};
 pub use device::{DeviceModel, MeasuredRank, Predicted};
 pub use layer::LayerDims;
 pub use memory::{cagnet_bytes_per_gpu, max_replication, rdm_bytes_per_gpu, MemoryParams};

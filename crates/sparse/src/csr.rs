@@ -94,6 +94,10 @@ pub struct Csr {
     /// [`Csr::nnz_partition`]). Not part of the matrix value: ignored by
     /// equality, cloned along for free reuse on copies.
     panels: OnceLock<Vec<usize>>,
+    /// Lazily computed per-destination remote-row support (see
+    /// [`Csr::col_support`]). Cached exactly like `panels`: the adjacency
+    /// is static across epochs, so the scan runs once per matrix.
+    support: OnceLock<Vec<Vec<u32>>>,
 }
 
 /// Structural + value equality; the cached scheduling partition is not part
@@ -159,6 +163,7 @@ impl Csr {
             indices,
             vals,
             panels: OnceLock::new(),
+            support: OnceLock::new(),
         }
     }
 
@@ -241,6 +246,65 @@ impl Csr {
     pub fn nnz_partition(&self, tasks: usize) -> &[usize] {
         self.panels
             .get_or_init(|| balanced_panels(&self.indptr, tasks))
+    }
+
+    /// Per-destination remote-row support of this panel under a balanced
+    /// `parts`-way partition of the column dimension: entry `j` lists, in
+    /// increasing order, the columns owned by partition member `j`
+    /// (`part_range(cols, parts, j)`) that appear in at least one row of
+    /// the panel. An SpMM over this panel reads **only** those rows of its
+    /// dense operand, so entry `j` is exactly the set of rows member `j`
+    /// must ship here — the basis of sparsity-aware redistribution.
+    ///
+    /// Computed by one `indices` scan on first use and cached (the
+    /// adjacency is static across epochs). Like [`Csr::nnz_partition`] the
+    /// `parts` hint is honoured by the first caller only; later calls
+    /// return the cached support regardless.
+    pub fn col_support(&self, parts: usize) -> &[Vec<u32>] {
+        self.support.get_or_init(|| {
+            let parts = parts.max(1);
+            let mut present = vec![false; self.cols];
+            for &c in &self.indices {
+                present[c as usize] = true;
+            }
+            (0..parts)
+                .map(|j| {
+                    let r = rdm_dense::part_range(self.cols, parts, j);
+                    (r.start..r.end)
+                        .filter(|&c| present[c])
+                        .map(|c| c as u32)
+                        .collect()
+                })
+                .collect()
+        })
+    }
+
+    /// Fraction of columns no row of this panel touches — the structural
+    /// upper bound on how much of a redistribution towards this panel's
+    /// SpMM is dead weight. `0.0` for an empty column dimension.
+    pub fn empty_col_fraction(&self) -> f64 {
+        if self.cols == 0 {
+            return 0.0;
+        }
+        let mut present = vec![false; self.cols];
+        for &c in &self.indices {
+            present[c as usize] = true;
+        }
+        let empty = present.iter().filter(|&&p| !p).count();
+        empty as f64 / self.cols as f64
+    }
+
+    /// Fraction of rows with no stored nonzeros. For an aggregation matrix
+    /// `Â` this is the fraction of vertices whose aggregated output is
+    /// exactly zero — rows the sparsity-aware redistribution never ships.
+    pub fn empty_row_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let empty = (0..self.rows)
+            .filter(|&r| self.indptr[r] == self.indptr[r + 1])
+            .count();
+        empty as f64 / self.rows as f64
     }
 
     #[inline]
@@ -632,5 +696,51 @@ mod tests {
     fn nbytes_counts_all_arrays() {
         let m = sample();
         assert_eq!(m.nbytes(), 6 * 4 + 6 * 4 + 5 * 8);
+    }
+
+    #[test]
+    fn col_support_buckets_present_columns_by_owner() {
+        // sample() touches all three columns; under a 2-way split of 3
+        // columns, member 0 owns {0, 1} and member 1 owns {2}.
+        let m = sample();
+        let s = m.col_support(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], vec![0, 1]);
+        assert_eq!(s[1], vec![2]);
+    }
+
+    #[test]
+    fn col_support_omits_untouched_columns() {
+        // Only column 3 of 6 is referenced.
+        let mut coo = Coo::new(2, 6);
+        coo.push(0, 3, 1.0);
+        coo.push(1, 3, 2.0);
+        let m = coo.to_csr();
+        let s = m.col_support(3);
+        assert_eq!(s[0], Vec::<u32>::new()); // owns cols 0..2
+        assert_eq!(s[1], vec![3]); // owns cols 2..4
+        assert_eq!(s[2], Vec::<u32>::new()); // owns cols 4..6
+    }
+
+    #[test]
+    fn col_support_is_cached_and_survives_clone() {
+        let m = sample();
+        let a: Vec<Vec<u32>> = m.col_support(2).to_vec();
+        // First caller wins; a different hint returns the same support.
+        assert_eq!(m.col_support(3), &a[..]);
+        let c = m.clone();
+        assert_eq!(c.col_support(2), &a[..]);
+        assert_eq!(m, c);
+    }
+
+    #[test]
+    fn empty_fractions_count_structural_zeros() {
+        let m = sample(); // row 1 empty; all columns touched
+        assert!((m.empty_row_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(m.empty_col_fraction(), 0.0);
+        let e = Csr::empty(3, 4);
+        assert_eq!(e.empty_row_fraction(), 1.0);
+        assert_eq!(e.empty_col_fraction(), 1.0);
+        assert_eq!(Csr::empty(0, 0).empty_row_fraction(), 0.0);
     }
 }

@@ -128,6 +128,7 @@ pub fn to_chrome_json(traces: &[RankTrace], normalized: bool) -> String {
                     kind,
                     peer,
                     bytes,
+                    dense_bytes,
                     msg_seq,
                 } => push_event(
                     &mut out,
@@ -141,6 +142,7 @@ pub fn to_chrome_json(traces: &[RankTrace], normalized: bool) -> String {
                         ("kind", format!("\"{}\"", kind.name())),
                         ("peer", peer.to_string()),
                         ("bytes", bytes.to_string()),
+                        ("dense_bytes", dense_bytes.to_string()),
                         ("msg_seq", msg_seq.to_string()),
                         seq_arg,
                     ],
@@ -504,6 +506,7 @@ mod tests {
                         kind: TraceCollective::Redistribute,
                         peer: 1,
                         bytes: 256,
+                        dense_bytes: 256,
                         msg_seq: 7,
                     },
                 },

@@ -126,11 +126,15 @@ pub enum EventData {
     /// Close the innermost open span.
     End,
     /// One point-to-point payload send; `msg_seq` is the fabric's
-    /// per-link sequence number.
+    /// per-link sequence number. `bytes` is what actually crossed the
+    /// link; `dense_bytes` is the dense-equivalent payload the paper's
+    /// volume formulas price. They coincide except on sparsity-compressed
+    /// sends, where `bytes <= dense_bytes`.
     Collective {
         kind: TraceCollective,
         peer: usize,
         bytes: usize,
+        dense_bytes: usize,
         msg_seq: u64,
     },
     /// One injected drop the envelope protocol retransmitted through.
@@ -342,6 +346,7 @@ mod tests {
                 kind: TraceCollective::Redistribute,
                 peer: 1,
                 bytes: 64,
+                dense_bytes: 64,
                 msg_seq: 0,
             });
             let _s = span(Span::Spmm {

@@ -159,6 +159,7 @@ fn corrupting_payload_bytes_is_caught() {
         kind,
         peer,
         bytes,
+        dense_bytes,
         msg_seq,
     } = victim.data
     {
@@ -166,6 +167,7 @@ fn corrupting_payload_bytes_is_caught() {
             kind,
             peer,
             bytes: bytes + 4,
+            dense_bytes: dense_bytes + 4,
             msg_seq,
         };
     }
