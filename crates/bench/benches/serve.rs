@@ -1,0 +1,61 @@
+//! Serving-throughput benchmark: the same open-loop request stream served
+//! with batching on (`max_batch = 8`) and off (`max_batch = 1`).
+//!
+//! Beyond timing, the smoke run asserts the reason serving batches at
+//! all: under load heavy enough that per-request dispatch falls behind,
+//! batched virtual throughput must beat batch-size-1, because a batch of
+//! B requests shares one fixed-size forward pass. CI runs this with
+//! `--test` as part of the bench-smoke job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdm_core::gcn::GcnWeights;
+use rdm_core::WeightSnapshot;
+use rdm_graph::DatasetSpec;
+use rdm_serve::{serve, BatchPolicy, LoadGen, ServeConfig, ServeReport};
+
+/// One serving session over a fixed heavy stream: arrivals every ~2 us of
+/// virtual time against a service time of several us per forward, so a
+/// batch-size-1 server necessarily falls behind.
+fn session(max_batch: usize) -> ServeReport {
+    let ds = DatasetSpec::synthetic("serve-bench", 256, 2_000, 16, 4).instantiate(42);
+    let snap = WeightSnapshot::from_weights(&GcnWeights::init(&[16, 16, 4], 7));
+    let requests = LoadGen::new(11, 4, 2, 96).generate(ds.n());
+    let mut cfg = ServeConfig::new(4);
+    cfg.policy = BatchPolicy::new(max_batch, 50);
+    serve(&ds, &snap, &requests, &cfg)
+        .expect("bench session must serve")
+        .report
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // The throughput claim, checked on every smoke run.
+    let batched = session(8);
+    let single = session(1);
+    assert!(
+        batched.throughput_rps() > single.throughput_rps(),
+        "batched serving ({:.0} rps) must beat batch-size-1 ({:.0} rps)",
+        batched.throughput_rps(),
+        single.throughput_rps(),
+    );
+    assert!(
+        batched.p99_us() < single.p99_us(),
+        "under saturating load, batching must also cut tail latency \
+         ({} us vs {} us)",
+        batched.p99_us(),
+        single.p99_us(),
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    for &max_batch in &[1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_batch),
+            &max_batch,
+            |b, &mb| b.iter(|| session(mb)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Forward-only inference: the serving-path entry into the RDM engine.
+//!
+//! Training and serving share one forward implementation
+//! ([`rdm_forward_with`](crate::gcn::rdm_forward_with)); this module wraps
+//! it for the online case — no loss, no backward, no optimizer — so
+//! `rdm-serve` and the equivalence harness run *exactly* the code path a
+//! training epoch's forward half runs. That shared implementation is what
+//! makes the serving outputs bitwise identical to a direct engine pass.
+
+use crate::dist::DistMat;
+use crate::gcn::{input_cache, rdm_forward, GcnWeights};
+use crate::ops::{OpCounters, Topology};
+use crate::plan::Plan;
+use rdm_comm::RankCtx;
+use rdm_dense::Mat;
+use rdm_sparse::Csr;
+
+/// One forward-only pass over a (sub)graph: aggregate `adj_norm`, apply
+/// `weights` under `plan`, and return the logits row-sliced over ranks
+/// (rank `r` holds rows `part_range(n, p, r)`).
+///
+/// `sparse` routes redistributions through the sparsity-aware
+/// indexed-strip wire format; results are bit-identical to the dense path.
+/// The plan must use full adjacency replication (`r_a == p`), which is
+/// how every serving topology is built.
+pub fn forward_logits(
+    ctx: &RankCtx,
+    adj_norm: &Csr,
+    features: &Mat,
+    weights: &GcnWeights,
+    plan: &Plan,
+    sparse: bool,
+    ops: &mut OpCounters,
+) -> DistMat {
+    assert_eq!(
+        plan.r_a,
+        ctx.size(),
+        "serving topologies replicate the adjacency fully"
+    );
+    let mut topo = Topology::full(adj_norm, ctx);
+    topo.set_sparse(sparse);
+    let input = input_cache(features, &topo, ctx);
+    let mut art = rdm_forward(ctx, &topo, input, weights, plan, ops);
+    art.logits_row(&topo, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcn::serial;
+    use crate::snapshot::WeightSnapshot;
+    use rdm_comm::{Cluster, CollectiveKind};
+    use rdm_dense::allclose;
+    use rdm_graph::dataset::toy;
+
+    #[test]
+    fn forward_only_matches_serial_reference() {
+        let ds = toy(60, 3);
+        let weights = GcnWeights::init(&[16, 8, 4], 5);
+        let serial_h = serial::forward(&ds.adj_norm, &ds.features, &weights);
+        let expect = serial_h.last().unwrap().clone();
+        let (adj, feats, w2) = (ds.adj_norm.clone(), ds.features.clone(), weights.clone());
+        let out = Cluster::new(4).run(move |ctx| {
+            let plan = Plan::from_id(10, 2, ctx.size());
+            let mut ops = OpCounters::default();
+            let logits = forward_logits(ctx, &adj, &feats, &w2, &plan, false, &mut ops);
+            logits.gather(ctx, CollectiveKind::Other)
+        });
+        for got in &out.results {
+            assert!(allclose(got, &expect, 1e-4));
+        }
+    }
+
+    #[test]
+    fn sparse_wire_path_is_bitwise_dense() {
+        let ds = toy(48, 4);
+        let snap = WeightSnapshot::from_weights(&GcnWeights::init(&[16, 8, 4], 9));
+        let mut runs = Vec::new();
+        for sparse in [false, true] {
+            let (adj, feats) = (ds.adj_norm.clone(), ds.features.clone());
+            let w = snap.to_weights();
+            let out = Cluster::new(4).run(move |ctx| {
+                let plan = Plan::from_id(5, 2, ctx.size());
+                let mut ops = OpCounters::default();
+                let logits = forward_logits(ctx, &adj, &feats, &w, &plan, sparse, &mut ops);
+                logits.gather(ctx, CollectiveKind::Other)
+            });
+            runs.push(out.results[0].clone());
+        }
+        assert_eq!(runs[0].as_slice(), runs[1].as_slice());
+    }
+}

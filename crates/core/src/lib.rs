@@ -20,21 +20,26 @@
 //! * [`saint`] — GraphSAINT-RDM and GraphSAINT-DDP trainers (§V-C).
 //! * [`metrics`] / [`trainer`] — epoch accounting and the public
 //!   [`train_gcn`] entry point.
+//! * [`snapshot`] / [`infer`] — byte-exact trained-weight export/import
+//!   and the forward-only entry point the serving path runs on.
 
 pub mod adam;
 pub mod cagnet;
 pub mod dgcl;
 pub mod dist;
 pub mod gcn;
+pub mod infer;
 pub mod loss;
 pub mod metrics;
 pub mod ops;
 pub mod plan;
 pub mod saint;
+pub mod snapshot;
 pub mod trainer;
 
 pub use dist::{Dist, DistMat, RedistError};
 pub use gcn::OverlapSpec;
 pub use metrics::{EpochMetrics, TrainReport};
 pub use plan::{best_plan, LayerOrder, Plan};
+pub use snapshot::WeightSnapshot;
 pub use trainer::{train_gcn, Algo, TrainerConfig};

@@ -186,6 +186,10 @@ pub struct TrainReport {
     /// `rdm_trace::chrome::to_chrome_json`, or check against the model's
     /// predicted schedule with `rdm_model::conformance`.
     pub traces: Option<Vec<rdm_trace::RankTrace>>,
+    /// The final trained weights (rank 0's replicated copy), exportable
+    /// with [`WeightSnapshot::save`](crate::snapshot::WeightSnapshot) and
+    /// servable with `rdm-serve`.
+    pub weights: Option<crate::snapshot::WeightSnapshot>,
 }
 
 impl TrainReport {
@@ -308,6 +312,7 @@ mod tests {
             p: 1,
             epochs: vec![e1, e2],
             traces: None,
+            weights: None,
         };
         assert!((r.mean_wall_epoch_s() - 0.015).abs() < 1e-9);
         assert_eq!(r.mean_bytes_per_epoch(), 200.0);

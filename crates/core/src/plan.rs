@@ -77,6 +77,16 @@ pub fn best_plan_with(shape: &GnnShape, p: usize, device: &DeviceModel) -> Plan 
 /// replication the Pareto membership matches the dense pricing, but the
 /// device-model ranking sees cheaper communication and can shift toward
 /// compute-lighter candidates.
+///
+/// The full selection rule, shared with `rdm-train --ra`:
+///
+/// * the returned plan always uses full replication (`r_a = p`); an
+///   explicit replication factor is applied afterwards with
+///   [`Plan::with_ra`], and **`r_a` must divide `P`** — the trainer
+///   rejects any plan where it does not;
+/// * `sigma` re-prices **redistribution volume only** — SpMM/GEMM op
+///   counts, and therefore the compute side of the ranking, are
+///   unchanged by sparsity.
 pub fn best_plan_with_sparsity(
     shape: &GnnShape,
     p: usize,

@@ -95,6 +95,12 @@ pub struct SaintRdmTrainer {
 }
 
 impl SaintRdmTrainer {
+    /// The current (replicated) weights — the trained model once the
+    /// epochs are done.
+    pub fn weights(&self) -> &GcnWeights {
+        &self.common.weights
+    }
+
     pub fn setup(
         ds: &Dataset,
         hidden: usize,
@@ -165,6 +171,11 @@ pub struct SaintDdpTrainer {
 }
 
 impl SaintDdpTrainer {
+    /// The current (replicated) weights.
+    pub fn weights(&self) -> &GcnWeights {
+        &self.common.weights
+    }
+
     pub fn setup(
         ds: &Dataset,
         hidden: usize,
@@ -253,6 +264,11 @@ pub struct SaintMaskedTrainer {
 }
 
 impl SaintMaskedTrainer {
+    /// The current (replicated) weights.
+    pub fn weights(&self) -> &GcnWeights {
+        &self.common.weights
+    }
+
     /// # Panics
     /// If `keep` is not in `(0, 1]`.
     pub fn setup(

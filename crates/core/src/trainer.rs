@@ -596,14 +596,25 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
                 ws_reused,
             });
         }
-        epochs
+        // Weights are replicated, so rank 0's copy is the trained model.
+        let weights = (ctx.rank() == 0).then(|| {
+            crate::snapshot::WeightSnapshot::from_weights(match &state {
+                State::Rdm(s) => &s.weights,
+                State::Cagnet(s) => &s.weights,
+                State::Dgcl(s) => &s.weights,
+                State::SaintRdm(s) => s.weights(),
+                State::SaintDdp(s) => s.weights(),
+                State::SaintMasked(s) => s.weights(),
+            })
+        });
+        (epochs, weights)
     });
 
     // Aggregate per epoch across ranks.
-    let per_rank = out.results;
+    let mut per_rank = out.results;
     let mut epochs = Vec::with_capacity(cfg.epochs);
     for e in 0..cfg.epochs {
-        let snapshot: Vec<RankEpoch> = per_rank.iter().map(|r| r[e].clone()).collect();
+        let snapshot: Vec<RankEpoch> = per_rank.iter().map(|r| r.0[e].clone()).collect();
         epochs.push(EpochMetrics::from_ranks(e, &snapshot, &cfg.device));
     }
     let algo = match &resolved_plan {
@@ -616,6 +627,7 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         p: cfg.p,
         epochs,
         traces: out.traces,
+        weights: per_rank[0].1.take(),
     })
 }
 

@@ -17,6 +17,84 @@ pub struct Subgraph {
     pub vertices: Vec<u32>,
 }
 
+/// SplitMix64 finalizer: one round of strong 64-bit mixing — the same
+/// construction the comm layer's fault plan uses, so target-anchored
+/// expansion needs no RNG state and no `rand` dependency.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Subgraph {
+    /// Deterministic fixed-size expansion around a set of target vertices
+    /// (the inference-serving sampler).
+    ///
+    /// Every target is always included. The rest of the budget is filled
+    /// breadth-first over the adjacency, visiting neighbors in CSR order,
+    /// so the subgraph contains the targets' receptive field as far as the
+    /// budget allows. If the frontier is exhausted before the budget (small
+    /// or disconnected components), the remainder is filled with
+    /// SplitMix64-hashed picks over the vertex set — a pure function of
+    /// `(targets, budget, seed)`, with no RNG state and no wall-clock
+    /// input, so every rank of a cluster computes the identical vertex set
+    /// without communicating.
+    ///
+    /// Returns exactly `min(max(budget, #distinct targets), n)` vertices,
+    /// sorted and deduplicated, so batch-to-batch matrix shapes stay
+    /// stable (the workspace pool serves steady-state batches without
+    /// fresh allocations).
+    pub fn around(adj: &Csr, targets: &[u32], budget: usize, seed: u64) -> Subgraph {
+        let n = adj.rows();
+        let mut seen = vec![false; n];
+        let mut queue: Vec<u32> = Vec::new();
+        for &t in targets {
+            let t = t as usize;
+            assert!(t < n, "target {t} out of graph with {n} vertices");
+            if !seen[t] {
+                seen[t] = true;
+                queue.push(t as u32);
+            }
+        }
+        let budget = budget.max(queue.len()).min(n);
+        let mut count = queue.len();
+        // Breadth-first over CSR neighbor order: deterministic, and the
+        // vertices closest to the targets (whose embeddings the forward
+        // pass actually needs) are admitted first.
+        let mut head = 0;
+        while head < queue.len() && count < budget {
+            let (neigh, _) = adj.row(queue[head] as usize);
+            head += 1;
+            for &v in neigh {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push(v);
+                    count += 1;
+                    if count == budget {
+                        break;
+                    }
+                }
+            }
+        }
+        // Frontier dried up: top off with hashed picks so the size — and
+        // therefore every downstream matrix shape — stays fixed.
+        let mut k = 0u64;
+        while count < budget {
+            let v = (mix(seed ^ k) % n as u64) as usize;
+            k += 1;
+            if !seen[v] {
+                seen[v] = true;
+                queue.push(v as u32);
+                count += 1;
+            }
+        }
+        queue.sort_unstable();
+        Subgraph { vertices: queue }
+    }
+}
+
 /// GraphSAINT sampling strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SaintSampler {
@@ -189,6 +267,57 @@ mod tests {
             assert_eq!(s.sample(&g, 11), s.sample(&g, 11));
             assert_ne!(s.sample(&g, 11), s.sample(&g, 12));
         }
+    }
+
+    #[test]
+    fn around_returns_exact_budget_with_targets_included() {
+        let g = graph();
+        let targets = [3u32, 99, 250];
+        let sub = Subgraph::around(&g, &targets, 64, 7);
+        assert_eq!(sub.vertices.len(), 64);
+        assert!(sub.vertices.windows(2).all(|w| w[0] < w[1]));
+        for t in targets {
+            assert!(sub.vertices.binary_search(&t).is_ok(), "target {t} missing");
+        }
+    }
+
+    #[test]
+    fn around_is_deterministic_and_seed_sensitive_when_filling() {
+        // Edgeless graph: BFS finds nothing, so the fill path decides the
+        // whole remainder and the seed must matter.
+        let g = Csr::empty(400, 400);
+        let a = Subgraph::around(&g, &[5], 50, 11);
+        let b = Subgraph::around(&g, &[5], 50, 11);
+        let c = Subgraph::around(&g, &[5], 50, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.vertices.len(), 50);
+        assert!(a.vertices.binary_search(&5).is_ok());
+    }
+
+    #[test]
+    fn around_clamps_budget_to_n_and_honors_excess_targets() {
+        let g = graph();
+        let all = Subgraph::around(&g, &[0], 10_000, 1);
+        assert_eq!(all.vertices.len(), 500);
+        // More distinct targets than budget: all targets still included.
+        let targets: Vec<u32> = (0..20).collect();
+        let sub = Subgraph::around(&g, &targets, 4, 1);
+        assert_eq!(sub.vertices.len(), 20);
+    }
+
+    #[test]
+    fn around_prefers_neighbors_over_hash_fill() {
+        // Star around vertex 0: the budget should be met entirely by 0's
+        // neighborhood, not by hashed picks.
+        let edges: Vec<(u32, u32)> = (1..100u32).map(|v| (0, v)).collect();
+        let g = symmetrize(200, &edges);
+        let sub = Subgraph::around(&g, &[0], 50, 3);
+        assert_eq!(sub.vertices.len(), 50);
+        assert!(
+            sub.vertices.iter().all(|&v| v < 100),
+            "hash fill used despite live frontier"
+        );
     }
 
     #[test]

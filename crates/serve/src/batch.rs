@@ -1,0 +1,159 @@
+//! Size-and-deadline batching of inference requests.
+//!
+//! [`form_batches`] is a pure function of the arrival stream and a
+//! [`BatchPolicy`] — it consults neither service times nor queueing state.
+//! That decoupling is what lets every rank of the cluster compute the
+//! identical batch schedule from the shared load stream with zero
+//! batch-formation traffic (the same shared-seed discipline the paper's
+//! §III-F uses to keep redistribution coordination-free), and what makes
+//! the batcher property-testable in isolation.
+
+use crate::load::InferRequest;
+
+/// When a batch stops admitting requests and becomes dispatchable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Hard cap on requests per batch. A batch reaching the cap closes
+    /// immediately at the cap-th arrival.
+    pub max_batch: usize,
+    /// How long the first request of a batch may wait for company,
+    /// microseconds. A batch that never fills closes at
+    /// `first_arrival + max_wait_us`.
+    pub max_wait_us: u64,
+}
+
+impl BatchPolicy {
+    /// # Panics
+    /// If `max_batch == 0`.
+    pub fn new(max_batch: usize, max_wait_us: u64) -> Self {
+        assert!(max_batch >= 1, "batches must admit at least one request");
+        BatchPolicy {
+            max_batch,
+            max_wait_us,
+        }
+    }
+}
+
+/// A closed batch: the admitted requests (arrival order) and the virtual
+/// time it became dispatchable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch {
+    /// Position in the batch schedule (0-based).
+    pub idx: usize,
+    /// Admitted requests, in arrival order.
+    pub requests: Vec<InferRequest>,
+    /// Virtual close time: `min(first_arrival + max_wait_us, arrival of
+    /// the max_batch-th request)`. Dispatch may be later if the engine is
+    /// still busy with the previous batch.
+    pub close_us: u64,
+}
+
+/// Partition the arrival stream into batches under `policy`.
+///
+/// Requests are processed in `(arrival_us, idx)` order; each batch opens
+/// at its first pending arrival, admits arrivals within the wait window up
+/// to the size cap, and closes at the earlier of cap-fill and deadline.
+/// Every request lands in exactly one batch, batches preserve arrival
+/// order, and therefore per-client request order — the properties
+/// `prop_batcher` pins down.
+///
+/// # Panics
+/// If `policy.max_batch == 0`.
+pub fn form_batches(requests: &[InferRequest], policy: &BatchPolicy) -> Vec<Batch> {
+    assert!(
+        policy.max_batch >= 1,
+        "batches must admit at least one request"
+    );
+    let mut reqs: Vec<InferRequest> = requests.to_vec();
+    reqs.sort_by_key(|r| (r.arrival_us, r.idx));
+    let mut batches = Vec::new();
+    let mut i = 0;
+    while i < reqs.len() {
+        let deadline = reqs[i].arrival_us.saturating_add(policy.max_wait_us);
+        let mut j = i + 1;
+        while j < reqs.len() && j - i < policy.max_batch && reqs[j].arrival_us <= deadline {
+            j += 1;
+        }
+        let close_us = if j - i == policy.max_batch {
+            reqs[j - 1].arrival_us
+        } else {
+            deadline
+        };
+        batches.push(Batch {
+            idx: batches.len(),
+            requests: reqs[i..j].to_vec(),
+            close_us,
+        });
+        i = j;
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadGen;
+
+    fn req(idx: usize, arrival_us: u64) -> InferRequest {
+        InferRequest {
+            idx,
+            client: 0,
+            req_id: idx as u64,
+            target: 0,
+            arrival_us,
+        }
+    }
+
+    #[test]
+    fn cap_fill_closes_at_cap_th_arrival() {
+        let reqs = [req(0, 10), req(1, 12), req(2, 14), req(3, 500)];
+        let b = form_batches(&reqs, &BatchPolicy::new(3, 1000));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].requests.len(), 3);
+        assert_eq!(b[0].close_us, 14);
+        assert_eq!(b[1].requests.len(), 1);
+        assert_eq!(b[1].close_us, 1500);
+    }
+
+    #[test]
+    fn deadline_closes_a_half_full_batch() {
+        let reqs = [req(0, 10), req(1, 15), req(2, 200)];
+        let b = form_batches(&reqs, &BatchPolicy::new(8, 50));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].requests.len(), 2);
+        assert_eq!(b[0].close_us, 60);
+        assert_eq!(b[1].close_us, 250);
+    }
+
+    #[test]
+    fn batch_size_one_degenerates_to_per_request_dispatch() {
+        let reqs = [req(0, 1), req(1, 1), req(2, 2)];
+        let b = form_batches(&reqs, &BatchPolicy::new(1, 10_000));
+        assert_eq!(b.len(), 3);
+        assert!(b.iter().all(|x| x.requests.len() == 1));
+        assert!(b.iter().all(|x| x.close_us == x.requests[0].arrival_us));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_are_ordered_by_index() {
+        let reqs = [req(1, 5), req(0, 5), req(2, 5)];
+        let b = form_batches(&reqs, &BatchPolicy::new(2, 100));
+        assert_eq!(b[0].requests[0].idx, 0);
+        assert_eq!(b[0].requests[1].idx, 1);
+        assert_eq!(b[1].requests[0].idx, 2);
+    }
+
+    #[test]
+    fn every_generated_request_lands_exactly_once() {
+        let reqs = LoadGen::new(17, 4, 30, 400).generate(512);
+        let b = form_batches(&reqs, &BatchPolicy::new(8, 120));
+        let mut seen = vec![0u32; 400];
+        for batch in &b {
+            assert!(batch.requests.len() <= 8);
+            for r in &batch.requests {
+                seen[r.idx] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+}

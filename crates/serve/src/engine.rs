@@ -1,0 +1,537 @@
+//! The serving session: one long-lived cluster, a stream of batches.
+//!
+//! [`serve`] brings up a simulated cluster once, loads the weight snapshot
+//! on every rank, and drives the whole batch schedule through a single
+//! [`Cluster::run`] call — the persistent worker pool and each rank's
+//! workspace shelf live for the session, so after the first (warmup) batch
+//! every matrix the forward pass needs comes off the shelf without a fresh
+//! allocation. Batch composition is a pure function of the shared load
+//! stream ([`crate::form_batches`]), so all ranks compute the identical
+//! schedule with zero coordination traffic, the same shared-seed
+//! discipline the paper's §III-F uses for redistribution.
+//!
+//! Latency is *virtual*: each batch's service time is the slowest rank's
+//! device-model compute + communication cost, and completions follow the
+//! one-batch-at-a-time queueing recurrence `dispatch_k = max(close_k,
+//! completion_{k-1})`. Nothing reads the wall clock, so a session replays
+//! byte-identically under a fixed seed — including under fault injection,
+//! whose retransmissions never touch the payload book.
+
+use rdm_comm::{Cluster, CommStats, FaultPlan};
+use rdm_core::infer::forward_logits;
+use rdm_core::ops::OpCounters;
+use rdm_core::plan::{best_plan_with, Plan};
+use rdm_core::WeightSnapshot;
+use rdm_dense::mat::part_range;
+use rdm_dense::pool;
+use rdm_graph::dataset::Dataset;
+use rdm_graph::sampler::Subgraph;
+use rdm_model::{DeviceModel, GnnShape};
+use rdm_trace::{RankTrace, Span};
+
+use crate::batch::{form_batches, Batch, BatchPolicy};
+use crate::load::InferRequest;
+use crate::report::{BatchTiming, RequestRecord, ServeReport};
+
+/// How each batch's minibatch graph is formed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeSampler {
+    /// Run every batch over the full graph (exact inference).
+    Full,
+    /// Run each batch over a deterministic fixed-size induced subgraph
+    /// anchored at the batch's targets ([`Subgraph::around`]). The fixed
+    /// budget keeps batch-to-batch matrix shapes identical, which is what
+    /// lets the workspace pool serve steady-state batches alloc-free.
+    Induced { budget: usize },
+}
+
+/// Configuration of a serving session.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Cluster size.
+    pub p: usize,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Minibatch formation.
+    pub sampler: ServeSampler,
+    /// Execution plan; `None` picks the device-model best for the serving
+    /// shape. Serving replicates the adjacency fully, so the plan's `r_a`
+    /// must equal `p`.
+    pub plan: Option<Plan>,
+    /// Ship redistribution payloads in the sparsity-compressed wire format.
+    pub sparse: bool,
+    /// Fault injection for the session's fabric.
+    pub faults: Option<FaultPlan>,
+    /// Record per-rank structured traces (Batch/Serve spans included).
+    pub trace: bool,
+    /// Device model pricing the virtual service times.
+    pub device: DeviceModel,
+    /// Seed for the induced sampler's hash fill.
+    pub sample_seed: u64,
+}
+
+impl ServeConfig {
+    pub fn new(p: usize) -> Self {
+        ServeConfig {
+            p,
+            policy: BatchPolicy::new(8, 2_000),
+            sampler: ServeSampler::Full,
+            plan: None,
+            sparse: false,
+            faults: None,
+            trace: false,
+            device: DeviceModel::a6000_pcie(),
+            sample_seed: 0x5EED,
+        }
+    }
+}
+
+/// A finished serving session.
+#[derive(Debug)]
+pub struct ServeOutput {
+    pub report: ServeReport,
+    /// Merged communication statistics across ranks.
+    pub stats: CommStats,
+    /// Per-rank traces when [`ServeConfig::trace`] is set.
+    pub traces: Option<Vec<RankTrace>>,
+}
+
+/// What one rank records about one batch.
+struct RankBatchRecord {
+    ops: OpCounters,
+    bytes: u64,
+    msgs: u64,
+    ws_fresh: u64,
+    ws_reused: u64,
+}
+
+/// Serve `requests` against `ds` with the weights in `snap`.
+///
+/// Returns the per-request logits (each request served exactly once, on
+/// the rank owning its target's row), the virtual-latency report, and the
+/// session's communication statistics. Errors on configuration the engine
+/// cannot execute rather than panicking mid-session.
+pub fn serve(
+    ds: &Dataset,
+    snap: &WeightSnapshot,
+    requests: &[InferRequest],
+    cfg: &ServeConfig,
+) -> Result<ServeOutput, String> {
+    let n = ds.n();
+    let p = cfg.p;
+    if p == 0 {
+        return Err("cluster needs at least one rank".into());
+    }
+    if n < p {
+        return Err(format!("graph with {n} vertices cannot span {p} ranks"));
+    }
+    if cfg.policy.max_batch == 0 {
+        return Err("batch policy must admit at least one request".into());
+    }
+    let feats = snap.feats();
+    if feats.first() != Some(&ds.features.cols()) {
+        return Err(format!(
+            "snapshot expects {}-dimensional input features, dataset has {}",
+            feats.first().copied().unwrap_or(0),
+            ds.features.cols()
+        ));
+    }
+    if feats.last() != Some(&ds.num_classes()) {
+        return Err(format!(
+            "snapshot emits {} classes, dataset has {}",
+            feats.last().copied().unwrap_or(0),
+            ds.num_classes()
+        ));
+    }
+    if let Some(bad) = requests.iter().find(|r| (r.target as usize) >= n) {
+        return Err(format!(
+            "request {} targets vertex {} outside graph of {n}",
+            bad.idx, bad.target
+        ));
+    }
+    let serve_n = match cfg.sampler {
+        ServeSampler::Full => n,
+        ServeSampler::Induced { budget } => {
+            if budget < p.max(4) {
+                return Err(format!(
+                    "sampler budget {budget} below minimum {}",
+                    p.max(4)
+                ));
+            }
+            if budget < cfg.policy.max_batch {
+                return Err(format!(
+                    "sampler budget {budget} cannot hold a full batch of {}",
+                    cfg.policy.max_batch
+                ));
+            }
+            budget.min(n)
+        }
+    };
+
+    // One plan for the whole session, priced for the serving shape.
+    let layers = snap.layers();
+    let hidden = if layers >= 2 {
+        feats[1]
+    } else {
+        ds.num_classes()
+    };
+    let nnz_est = ((ds.adj_norm.nnz() * serve_n) / n).max(serve_n);
+    let shape = GnnShape::gcn(
+        serve_n,
+        nnz_est,
+        ds.features.cols(),
+        hidden,
+        ds.num_classes(),
+        layers,
+    );
+    let plan = cfg
+        .plan
+        .clone()
+        .unwrap_or_else(|| best_plan_with(&shape, p, &cfg.device));
+    if plan.r_a != p {
+        return Err(format!(
+            "serving replicates the adjacency fully: plan r_a {} must equal P {p}",
+            plan.r_a
+        ));
+    }
+    if plan.config.layers() != layers {
+        return Err(format!(
+            "plan orders {} layers, snapshot has {layers}",
+            plan.config.layers()
+        ));
+    }
+
+    // The batch schedule and (for the induced sampler) each batch's vertex
+    // set are pure functions of the shared inputs — computed once here,
+    // read-only inside the cluster.
+    let batches = form_batches(requests, &cfg.policy);
+    let batch_verts: Vec<Option<Vec<u32>>> = batches
+        .iter()
+        .map(|b| match cfg.sampler {
+            ServeSampler::Full => None,
+            ServeSampler::Induced { budget } => {
+                let targets: Vec<u32> = b.requests.iter().map(|r| r.target).collect();
+                let sub = Subgraph::around(
+                    &ds.adj,
+                    &targets,
+                    budget.min(n),
+                    cfg.sample_seed ^ b.idx as u64,
+                );
+                Some(sub.vertices)
+            }
+        })
+        .collect();
+
+    let cluster = match cfg.faults {
+        Some(fp) => Cluster::with_faults(p, fp),
+        None => Cluster::new(p),
+    };
+    let cluster = if cfg.trace { cluster.traced() } else { cluster };
+
+    let out = cluster.run(|ctx| {
+        let weights = snap.to_weights();
+        let mut records: Vec<RankBatchRecord> = Vec::with_capacity(batches.len());
+        let mut rows: Vec<(usize, Vec<f32>)> = Vec::new();
+        let mut prev_stats = ctx.stats_snapshot();
+        for (batch, verts) in batches.iter().zip(&batch_verts) {
+            // Align batch boundaries so per-batch deltas of the workspace
+            // and communication books are attributable to one batch.
+            ctx.barrier();
+            let ws0 = pool::stats();
+            let _bspan = rdm_trace::span(Span::Batch {
+                idx: batch.idx,
+                size: batch.requests.len(),
+            });
+            for r in &batch.requests {
+                // Admission markers: one Serve span per request, nested in
+                // the batch span, so Chrome traces show batch membership.
+                let _s = rdm_trace::span(Span::Serve {
+                    client: r.client,
+                    req_id: r.req_id,
+                });
+            }
+            let mut ops = OpCounters::default();
+            match verts {
+                None => {
+                    let logits = forward_logits(
+                        ctx,
+                        &ds.adj_norm,
+                        &ds.features,
+                        &weights,
+                        &plan,
+                        cfg.sparse,
+                        &mut ops,
+                    );
+                    let range = part_range(n, p, ctx.rank());
+                    for r in &batch.requests {
+                        let t = r.target as usize;
+                        if range.contains(&t) {
+                            rows.push((r.idx, logits.local.row(t - range.start).to_vec()));
+                        }
+                    }
+                }
+                Some(verts) => {
+                    let sub = ds.induced(verts);
+                    let logits = forward_logits(
+                        ctx,
+                        &sub.adj_norm,
+                        &sub.features,
+                        &weights,
+                        &plan,
+                        cfg.sparse,
+                        &mut ops,
+                    );
+                    let range = part_range(sub.n(), p, ctx.rank());
+                    for r in &batch.requests {
+                        let li = verts
+                            .binary_search(&r.target)
+                            .expect("sampler always includes batch targets");
+                        if range.contains(&li) {
+                            rows.push((r.idx, logits.local.row(li - range.start).to_vec()));
+                        }
+                    }
+                }
+            }
+            let ws1 = pool::stats();
+            let now = ctx.stats_snapshot();
+            let delta = now.delta_since(&prev_stats);
+            prev_stats = now;
+            records.push(RankBatchRecord {
+                ops,
+                bytes: delta.total_bytes(),
+                msgs: delta.total_messages(),
+                ws_fresh: ws1.fresh - ws0.fresh,
+                ws_reused: ws1.reused - ws0.reused,
+            });
+        }
+        (rows, records)
+    });
+
+    // Assemble: every request served exactly once, by the rank owning its
+    // target's logits row.
+    let mut logits_by_req: Vec<Option<Vec<f32>>> = vec![None; requests.len()];
+    for (rows, _) in &out.results {
+        for (idx, row) in rows {
+            if logits_by_req[*idx].replace(row.clone()).is_some() {
+                return Err(format!("request {idx} served more than once"));
+            }
+        }
+    }
+    if let Some(miss) = logits_by_req.iter().position(|l| l.is_none()) {
+        return Err(format!("request {miss} was never served"));
+    }
+
+    // Virtual timeline: service = slowest rank per batch, one batch in
+    // flight at a time.
+    let mut timings: Vec<BatchTiming> = Vec::with_capacity(batches.len());
+    let mut prev_completion = 0u64;
+    for batch in &batches {
+        let service_s = out
+            .results
+            .iter()
+            .map(|(_, recs)| {
+                let r = &recs[batch.idx];
+                cfg.device.compute_time(r.ops.spmm_fma, r.ops.gemm_fma)
+                    + cfg.device.comm_time(r.bytes as f64, r.msgs as f64)
+            })
+            .fold(0.0f64, f64::max)
+            + cfg.device.epoch_overhead;
+        let service_us = ((service_s * 1.0e6).round() as u64).max(1);
+        let dispatch_us = batch.close_us.max(prev_completion);
+        let completion_us = dispatch_us + service_us;
+        prev_completion = completion_us;
+        timings.push(BatchTiming {
+            idx: batch.idx,
+            size: batch.requests.len(),
+            close_us: batch.close_us,
+            dispatch_us,
+            service_us,
+            completion_us,
+        });
+    }
+
+    let mut request_records: Vec<RequestRecord> = Vec::with_capacity(requests.len());
+    for batch in &batches {
+        let t = &timings[batch.idx];
+        for r in &batch.requests {
+            request_records.push(RequestRecord {
+                idx: r.idx,
+                client: r.client,
+                req_id: r.req_id,
+                target: r.target,
+                batch: batch.idx,
+                arrival_us: r.arrival_us,
+                completion_us: t.completion_us,
+                logits: logits_by_req[r.idx].take().expect("assembled above"),
+            });
+        }
+    }
+    request_records.sort_by_key(|r| r.idx);
+
+    let mut ws_fresh_warmup = 0;
+    let mut ws_fresh_steady = 0;
+    let mut ws_reused_steady = 0;
+    for (_, recs) in &out.results {
+        for (bi, r) in recs.iter().enumerate() {
+            if bi == 0 {
+                ws_fresh_warmup += r.ws_fresh;
+            } else {
+                ws_fresh_steady += r.ws_fresh;
+                ws_reused_steady += r.ws_reused;
+            }
+        }
+    }
+
+    let mut stats = CommStats::default();
+    for s in &out.stats {
+        stats.merge(s);
+    }
+    let report = ServeReport {
+        dataset: ds.spec.name.clone(),
+        p,
+        sparse: cfg.sparse,
+        requests: request_records,
+        batches: timings,
+        ws_fresh_warmup,
+        ws_fresh_steady,
+        ws_reused_steady,
+        payload_bytes: stats.total_bytes(),
+        messages: stats.total_messages(),
+        retries: stats.retries,
+    };
+    Ok(ServeOutput {
+        report,
+        stats,
+        traces: out.traces,
+    })
+}
+
+/// The batches [`serve`] will execute for this request stream — exposed so
+/// harnesses can reconstruct the exact minibatches for reference forwards.
+pub fn planned_batches(requests: &[InferRequest], policy: &BatchPolicy) -> Vec<Batch> {
+    form_batches(requests, policy)
+}
+
+/// The vertex set [`serve`] uses for one batch under the induced sampler —
+/// exposed for the same reason.
+pub fn planned_vertices(ds: &Dataset, batch: &Batch, budget: usize, sample_seed: u64) -> Vec<u32> {
+    let targets: Vec<u32> = batch.requests.iter().map(|r| r.target).collect();
+    Subgraph::around(
+        &ds.adj,
+        &targets,
+        budget.min(ds.n()),
+        sample_seed ^ batch.idx as u64,
+    )
+    .vertices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadGen;
+    use rdm_core::gcn::GcnWeights;
+    use rdm_graph::dataset::DatasetSpec;
+
+    fn setup() -> (Dataset, WeightSnapshot) {
+        let ds = DatasetSpec::synthetic("demo", 96, 700, 8, 3).instantiate(1);
+        let w = GcnWeights::init(&[8, 8, 3], 7);
+        (ds, WeightSnapshot::from_weights(&w))
+    }
+
+    #[test]
+    fn full_graph_session_serves_every_request_and_replays() {
+        let (ds, snap) = setup();
+        let reqs = LoadGen::new(11, 3, 50, 24).generate(ds.n());
+        let cfg = ServeConfig::new(2);
+        let a = serve(&ds, &snap, &reqs, &cfg).unwrap();
+        assert_eq!(a.report.requests.len(), 24);
+        assert!(!a.report.batches.is_empty());
+        assert!(a.report.requests.iter().all(|r| r.logits.len() == 3));
+        assert!(a
+            .report
+            .requests
+            .iter()
+            .all(|r| r.completion_us > r.arrival_us));
+        let b = serve(&ds, &snap, &reqs, &cfg).unwrap();
+        assert_eq!(a.report, b.report, "replay diverged");
+        assert_eq!(a.report.render(), b.report.render());
+    }
+
+    #[test]
+    fn induced_sampler_is_alloc_free_after_warmup() {
+        let (ds, snap) = setup();
+        let reqs = LoadGen::new(5, 2, 20, 64).generate(ds.n());
+        let mut cfg = ServeConfig::new(2);
+        cfg.sampler = ServeSampler::Induced { budget: 48 };
+        let out = serve(&ds, &snap, &reqs, &cfg).unwrap();
+        assert!(out.report.batches.len() >= 4, "want several steady batches");
+        assert!(out.report.ws_fresh_warmup > 0, "warmup must allocate");
+        assert_eq!(
+            out.report.ws_fresh_steady, 0,
+            "steady-state batches allocated fresh workspaces"
+        );
+        assert!(out.report.ws_reused_steady > 0);
+    }
+
+    #[test]
+    fn completions_respect_per_client_request_order() {
+        let (ds, snap) = setup();
+        let reqs = LoadGen::new(23, 4, 10, 80).generate(ds.n());
+        let cfg = ServeConfig::new(2);
+        let out = serve(&ds, &snap, &reqs, &cfg).unwrap();
+        let mut last: Vec<Option<(u64, u64)>> = vec![None; 4];
+        let mut by_completion: Vec<&RequestRecord> = out.report.requests.iter().collect();
+        by_completion.sort_by_key(|r| (r.completion_us, r.batch, r.idx));
+        for r in by_completion {
+            if let Some((prev_id, prev_done)) = last[r.client] {
+                assert!(
+                    r.req_id > prev_id,
+                    "client {} completed out of order",
+                    r.client
+                );
+                assert!(r.completion_us >= prev_done);
+            }
+            last[r.client] = Some((r.req_id, r.completion_us));
+        }
+    }
+
+    #[test]
+    fn misconfigured_sessions_error_instead_of_panicking() {
+        let (ds, snap) = setup();
+        let reqs = LoadGen::new(1, 1, 10, 4).generate(ds.n());
+        // Wrong input width.
+        let bad = WeightSnapshot::from_weights(&GcnWeights::init(&[9, 8, 3], 7));
+        assert!(serve(&ds, &bad, &reqs, &ServeConfig::new(2)).is_err());
+        // Wrong class count.
+        let bad = WeightSnapshot::from_weights(&GcnWeights::init(&[8, 8, 4], 7));
+        assert!(serve(&ds, &bad, &reqs, &ServeConfig::new(2)).is_err());
+        // Partial replication is not servable.
+        let mut cfg = ServeConfig::new(4);
+        cfg.plan = Some(Plan::from_id(0, 2, 4).with_ra(2));
+        assert!(serve(&ds, &snap, &reqs, &cfg).is_err());
+        // Budget below a full batch.
+        let mut cfg = ServeConfig::new(2);
+        cfg.sampler = ServeSampler::Induced { budget: 4 };
+        cfg.policy = BatchPolicy::new(16, 1_000);
+        assert!(serve(&ds, &snap, &reqs, &cfg).is_err());
+        // Target outside the graph.
+        let mut stray = reqs.clone();
+        stray[0].target = ds.n() as u32;
+        assert!(serve(&ds, &snap, &stray, &ServeConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn batch_timeline_obeys_the_queueing_recurrence() {
+        let (ds, snap) = setup();
+        let reqs = LoadGen::new(2, 2, 5, 60).generate(ds.n());
+        let cfg = ServeConfig::new(2);
+        let out = serve(&ds, &snap, &reqs, &cfg).unwrap();
+        let mut prev_done = 0;
+        for t in &out.report.batches {
+            assert_eq!(t.dispatch_us, t.close_us.max(prev_done));
+            assert_eq!(t.completion_us, t.dispatch_us + t.service_us);
+            assert!(t.service_us >= 1);
+            prev_done = t.completion_us;
+        }
+    }
+}

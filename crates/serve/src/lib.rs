@@ -1,0 +1,35 @@
+//! `rdm-serve`: batched online GNN inference serving on the simulated
+//! RDM cluster.
+//!
+//! The training side of this workspace ends with a weight snapshot
+//! (`rdm_core::WeightSnapshot`); this crate is what runs after: a
+//! long-lived cluster that loads those weights once, accepts a stream of
+//! target-vertex inference requests, batches them under a size-and-
+//! deadline policy, and executes forward-only passes with the persistent
+//! worker pool and workspace shelves kept warm across batches.
+//!
+//! The crate is deliberately split along testable seams:
+//!
+//! * [`load`] — deterministic open-loop arrival generation (SplitMix64,
+//!   no RNG state, no wall clock);
+//! * [`batch`] — pure-function batching, property-tested in isolation;
+//! * [`engine`] — the single-`Cluster::run` serving session;
+//! * [`report`] — virtual-latency quantiles, workspace and communication
+//!   accounting, byte-stable rendering.
+//!
+//! Everything downstream of the seed is deterministic, so the equivalence
+//! harness can demand bitwise-identical logits between a serving session
+//! and direct engine forwards, across cluster sizes, wire formats and
+//! fault injection.
+
+pub mod batch;
+pub mod engine;
+pub mod load;
+pub mod report;
+
+pub use batch::{form_batches, Batch, BatchPolicy};
+pub use engine::{
+    planned_batches, planned_vertices, serve, ServeConfig, ServeOutput, ServeSampler,
+};
+pub use load::{InferRequest, LoadGen};
+pub use report::{nearest_rank, BatchTiming, RequestRecord, ServeReport};

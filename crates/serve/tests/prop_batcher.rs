@@ -1,0 +1,139 @@
+//! Property-based tests of the batcher over arbitrary arrival streams and
+//! policies: every request is served exactly once, no batch exceeds the
+//! size cap, close times respect the wait window, and per-client request
+//! order survives batching — the invariant that makes per-client FIFO
+//! completion automatic in the one-batch-at-a-time engine.
+
+use proptest::prelude::*;
+use rdm_serve::{form_batches, BatchPolicy, InferRequest, LoadGen};
+
+/// An adversarial stream from raw arrival times (ties and zero gaps
+/// allowed): arrivals are sorted, indices assigned in stream order, and
+/// per-client sequence numbers in stream order — the shape a real
+/// front-end would hand the batcher.
+fn stream_from_arrivals(mut arrivals: Vec<u64>, clients: usize) -> Vec<InferRequest> {
+    arrivals.sort_unstable();
+    let mut next = vec![0u64; clients];
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(idx, arrival_us)| {
+            let client = idx % clients;
+            let req_id = next[client];
+            next[client] += 1;
+            InferRequest {
+                idx,
+                client,
+                req_id,
+                target: (idx % 17) as u32,
+                arrival_us,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated open-loop streams: exactly-once service, cap respected,
+    /// close time within the policy window.
+    #[test]
+    fn generated_streams_batch_exactly_once_within_caps(
+        seed in 0u64..1000,
+        clients in 1usize..6,
+        mean_gap in 1u64..200,
+        count in 0usize..150,
+        max_batch in 1usize..12,
+        max_wait in 0u64..400,
+    ) {
+        let reqs = LoadGen::new(seed, clients, mean_gap, count).generate(64);
+        let batches = form_batches(&reqs, &BatchPolicy::new(max_batch, max_wait));
+        let mut seen = vec![0u32; count];
+        for (i, b) in batches.iter().enumerate() {
+            prop_assert_eq!(b.idx, i);
+            prop_assert!(!b.requests.is_empty());
+            prop_assert!(b.requests.len() <= max_batch);
+            let t0 = b.requests[0].arrival_us;
+            let deadline = t0.saturating_add(max_wait);
+            let last = b.requests.last().unwrap().arrival_us;
+            prop_assert!(last <= b.close_us, "close {} before last admit {}", b.close_us, last);
+            prop_assert!(b.close_us <= deadline, "close {} past deadline {}", b.close_us, deadline);
+            for r in &b.requests {
+                seen[r.idx] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "served counts {:?}", seen);
+    }
+
+    /// Concatenating the batch schedule reproduces the stream order, so
+    /// each client's requests complete in issue order.
+    #[test]
+    fn per_client_fifo_survives_batching(
+        seed in 0u64..1000,
+        clients in 1usize..6,
+        mean_gap in 1u64..60,
+        count in 1usize..150,
+        max_batch in 1usize..10,
+        max_wait in 0u64..200,
+    ) {
+        let reqs = LoadGen::new(seed, clients, mean_gap, count).generate(32);
+        let batches = form_batches(&reqs, &BatchPolicy::new(max_batch, max_wait));
+        let mut last_req_id: Vec<Option<u64>> = vec![None; clients];
+        let mut last_batch: Vec<usize> = vec![0; clients];
+        for b in &batches {
+            for r in &b.requests {
+                if let Some(prev) = last_req_id[r.client] {
+                    prop_assert!(
+                        r.req_id > prev,
+                        "client {} req {} scheduled after {}",
+                        r.client, r.req_id, prev
+                    );
+                    prop_assert!(b.idx >= last_batch[r.client]);
+                }
+                last_req_id[r.client] = Some(r.req_id);
+                last_batch[r.client] = b.idx;
+            }
+        }
+    }
+
+    /// Tie-heavy adversarial arrivals (many simultaneous requests, zero
+    /// wait windows): the flattened schedule is exactly the stream.
+    #[test]
+    fn tie_heavy_streams_flatten_back_to_stream_order(
+        arrivals in proptest::collection::vec(0u64..40, 0..120),
+        max_batch in 1usize..8,
+        max_wait in 0u64..60,
+    ) {
+        let reqs = stream_from_arrivals(arrivals, 3);
+        let n = reqs.len();
+        let batches = form_batches(&reqs, &BatchPolicy::new(max_batch, max_wait));
+        let flat: Vec<usize> = batches
+            .iter()
+            .flat_map(|b| b.requests.iter().map(|r| r.idx))
+            .collect();
+        prop_assert_eq!(flat, (0..n).collect::<Vec<_>>());
+        prop_assert!(batches.iter().all(|b| b.requests.len() <= max_batch));
+    }
+
+    /// The batcher is a pure function: same stream + same policy, same
+    /// schedule — regardless of input permutation.
+    #[test]
+    fn batching_is_permutation_invariant(
+        seed in 0u64..500,
+        count in 0usize..100,
+        max_batch in 1usize..8,
+        max_wait in 0u64..150,
+        rot in 0usize..97,
+    ) {
+        let reqs = LoadGen::new(seed, 3, 25, count).generate(48);
+        let policy = BatchPolicy::new(max_batch, max_wait);
+        let a = form_batches(&reqs, &policy);
+        let mut shuffled = reqs.clone();
+        if !shuffled.is_empty() {
+            let mid = rot % shuffled.len();
+            shuffled.rotate_left(mid);
+        }
+        let b = form_batches(&shuffled, &policy);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -78,6 +78,11 @@ fn span_args(s: Span) -> Vec<(&'static str, String)> {
             ("k", k.to_string()),
         ],
         Span::AllReduce { elems } => vec![("elems", elems.to_string())],
+        Span::Batch { idx, size } => vec![("idx", idx.to_string()), ("size", size.to_string())],
+        Span::Serve { client, req_id } => vec![
+            ("client", client.to_string()),
+            ("req_id", req_id.to_string()),
+        ],
     }
 }
 
@@ -535,6 +540,44 @@ mod tests {
         assert!(json.contains("\"bytes\":256"));
         // End events inherit the opening span's name.
         assert_eq!(json.matches("\"name\":\"redistribute\"").count(), 2);
+    }
+
+    #[test]
+    fn serving_spans_export_and_validate() {
+        let traces = vec![RankTrace {
+            rank: 1,
+            events: vec![
+                Event {
+                    seq: 0,
+                    ts_ns: 0,
+                    data: EventData::Begin(Span::Batch { idx: 3, size: 2 }),
+                },
+                Event {
+                    seq: 1,
+                    ts_ns: 10,
+                    data: EventData::Begin(Span::Serve {
+                        client: 7,
+                        req_id: 41,
+                    }),
+                },
+                Event {
+                    seq: 2,
+                    ts_ns: 20,
+                    data: EventData::End,
+                },
+                Event {
+                    seq: 3,
+                    ts_ns: 30,
+                    data: EventData::End,
+                },
+            ],
+        }];
+        let json = to_chrome_json(&traces, true);
+        validate(&json).unwrap();
+        assert!(json.contains("\"name\":\"batch\""));
+        assert!(json.contains("\"idx\":3,\"size\":2"));
+        assert!(json.contains("\"name\":\"serve\""));
+        assert!(json.contains("\"client\":7,\"req_id\":41"));
     }
 
     #[test]

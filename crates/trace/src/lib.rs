@@ -16,7 +16,8 @@
 //!
 //! * [`Span`] — nested regions: `Epoch`, `Redistribute` (one per
 //!   all-to-all, blocking or chunk-pipelined), `Spmm`, `Gemm`,
-//!   `AllReduce`.
+//!   `AllReduce`, and the serving-path `Batch` / `Serve` (one per
+//!   executed inference batch / one per request inside it).
 //! * Instants — `Collective` (one per point-to-point send, carrying the
 //!   fabric sequence number), `Retry` (one per injected drop the envelope
 //!   protocol recovered from), `OverlapStrip` (one per pipelined strip,
@@ -104,6 +105,12 @@ pub enum Span {
     Gemm { m: usize, n: usize, k: usize },
     /// One ring all-reduce over `elems` f32 elements.
     AllReduce { elems: usize },
+    /// One served inference batch (`rdm-serve` loop body): `size` requests
+    /// executed as a single forward pass.
+    Batch { idx: usize, size: usize },
+    /// One request's service inside its [`Span::Batch`], tagged with the
+    /// requesting client and its per-client request id.
+    Serve { client: usize, req_id: u64 },
 }
 
 impl Span {
@@ -114,6 +121,8 @@ impl Span {
             Span::Spmm { .. } => "spmm",
             Span::Gemm { .. } => "gemm",
             Span::AllReduce { .. } => "allreduce",
+            Span::Batch { .. } => "batch",
+            Span::Serve { .. } => "serve",
         }
     }
 }

@@ -1,0 +1,375 @@
+//! `rdm-serve` — batched online GCN inference serving.
+//!
+//! ```text
+//! rdm-train --synthetic 256x2000 --features 16 --classes 4 --hidden 16 \
+//!           --save-weights demo.rdmw
+//! rdm-serve --synthetic 256x2000 --features 16 --classes 4 --hidden 16 \
+//!           --weights demo.rdmw --requests 64
+//! ```
+//!
+//! Brings up a long-lived simulated cluster, loads a trained weight
+//! snapshot (or trains one in place when `--weights` is absent), and
+//! drives a deterministic open-loop request stream through the batching
+//! engine. Latencies are virtual (device-model) time, so the report is
+//! byte-identical across machines and replays for a fixed `--seed`. The
+//! run fails if any steady-state batch needed a fresh workspace
+//! allocation — the pool must serve everything after warmup.
+
+use gnn_rdm::comm::FaultPlan;
+use gnn_rdm::core::{train_gcn, TrainerConfig, WeightSnapshot};
+use gnn_rdm::graph::dataset::load_edge_list;
+use gnn_rdm::graph::{paper_datasets, Dataset, DatasetSpec};
+use gnn_rdm::serve::{serve, BatchPolicy, LoadGen, ServeConfig, ServeSampler};
+use std::process::ExitCode;
+
+struct Args {
+    dataset: Option<String>,
+    edge_list: Option<String>,
+    synthetic: Option<(usize, usize)>,
+    features: usize,
+    classes: usize,
+    scale: Option<usize>,
+    weights: Option<String>,
+    train_epochs: usize,
+    ranks: usize,
+    layers: usize,
+    hidden: usize,
+    requests: usize,
+    clients: usize,
+    mean_gap: u64,
+    max_batch: usize,
+    max_wait: u64,
+    budget: Option<usize>,
+    seed: u64,
+    sparse: bool,
+    chaos: Option<u64>,
+    drop_rate: f64,
+    trace: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            dataset: None,
+            edge_list: None,
+            synthetic: None,
+            features: 64,
+            classes: 16,
+            scale: None,
+            weights: None,
+            train_epochs: 5,
+            ranks: 4,
+            layers: 2,
+            hidden: 128,
+            requests: 64,
+            clients: 4,
+            mean_gap: 200,
+            max_batch: 8,
+            max_wait: 2_000,
+            budget: None,
+            seed: 42,
+            sparse: false,
+            chaos: None,
+            drop_rate: 0.05,
+            trace: None,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+rdm-serve — batched online GCN inference on a long-lived RDM cluster
+
+USAGE:
+  rdm-serve [--dataset <name> | --synthetic <NxE> | --edge-list <path>] [options]
+
+DATA:
+  --dataset <name>      one of the paper's datasets, synthesized at --scale
+  --synthetic <NxE>     synthetic graph with N vertices, E edges
+  --edge-list <path>    whitespace edge list, 0-based vertex ids
+  --features <f>        input feature width for synthetic/edge-list [64]
+  --classes <c>         label count for synthetic/edge-list [16]
+  --scale <s>           divide a paper dataset's size by s [auto]
+
+WEIGHTS:
+  --weights <path>      load a snapshot written by rdm-train --save-weights;
+                        without it a model is trained in place first
+  --train-epochs <n>    epochs for the in-place fallback training [5]
+  --layers <l>          GCN layers for fallback training [2]
+  --hidden <h>          hidden width for fallback training [128]
+
+SERVING:
+  --ranks <p>           simulated GPUs [4]
+  --requests <n>        total requests in the open-loop stream [64]
+  --clients <c>         request issuers (per-client FIFO is guaranteed) [4]
+  --mean-gap <us>       mean inter-arrival gap, virtual microseconds [200]
+  --max-batch <b>       batch size cap [8]
+  --max-wait <us>       max time the first request of a batch waits [2000]
+  --budget <v>          serve each batch on a deterministic v-vertex induced
+                        subgraph around its targets; default is full-graph
+  --seed <s>            load-generator seed; the whole report replays
+                        byte-identically for a fixed seed [42]
+  --sparse              ship redistributions in the sparsity-aware wire format
+  --trace <out.json>    write per-rank Chrome traces with per-batch and
+                        per-request (Serve) spans
+  --quiet               report only, no per-batch table
+
+CHAOS:
+  --chaos <seed>        serve on a faulty fabric (seeded drops, reordering,
+                        stragglers); logits and the payload book are
+                        bit-identical to the fault-free run
+  --drop-rate <r>       per-attempt drop probability with --chaos [0.05]
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--dataset" => args.dataset = Some(value("--dataset")?),
+            "--edge-list" => args.edge_list = Some(value("--edge-list")?),
+            "--synthetic" => {
+                let v = value("--synthetic")?;
+                let (n, e) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--synthetic wants NxE, got {v}"))?;
+                args.synthetic = Some((
+                    n.parse().map_err(|e| format!("bad N: {e}"))?,
+                    e.parse().map_err(|e| format!("bad E: {e}"))?,
+                ));
+            }
+            "--features" => {
+                args.features = value("--features")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--classes" => {
+                args.classes = value("--classes")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--scale" => args.scale = Some(value("--scale")?.parse().map_err(|e| format!("{e}"))?),
+            "--weights" => args.weights = Some(value("--weights")?),
+            "--train-epochs" => {
+                args.train_epochs = value("--train-epochs")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--ranks" => args.ranks = value("--ranks")?.parse().map_err(|e| format!("{e}"))?,
+            "--layers" => args.layers = value("--layers")?.parse().map_err(|e| format!("{e}"))?,
+            "--hidden" => args.hidden = value("--hidden")?.parse().map_err(|e| format!("{e}"))?,
+            "--requests" => {
+                args.requests = value("--requests")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--clients" => {
+                args.clients = value("--clients")?.parse().map_err(|e| format!("{e}"))?;
+                if args.clients == 0 {
+                    return Err("--clients needs at least one client".into());
+                }
+            }
+            "--mean-gap" => {
+                args.mean_gap = value("--mean-gap")?.parse().map_err(|e| format!("{e}"))?;
+                if args.mean_gap == 0 {
+                    return Err("--mean-gap must be positive".into());
+                }
+            }
+            "--max-batch" => {
+                args.max_batch = value("--max-batch")?.parse().map_err(|e| format!("{e}"))?;
+                if args.max_batch == 0 {
+                    return Err("--max-batch needs at least one request".into());
+                }
+            }
+            "--max-wait" => {
+                args.max_wait = value("--max-wait")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--budget" => {
+                args.budget = Some(value("--budget")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--sparse" => args.sparse = true,
+            "--chaos" => args.chaos = Some(value("--chaos")?.parse().map_err(|e| format!("{e}"))?),
+            "--drop-rate" => {
+                args.drop_rate = value("--drop-rate")?.parse().map_err(|e| format!("{e}"))?;
+                if !(0.0..1.0).contains(&args.drop_rate) {
+                    return Err(format!(
+                        "--drop-rate must be in [0, 1), got {}",
+                        args.drop_rate
+                    ));
+                }
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_dataset(args: &Args) -> Result<Dataset, String> {
+    if let Some(path) = &args.edge_list {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return load_edge_list(path, &text, args.features, args.classes, args.seed);
+    }
+    if let Some((n, e)) = args.synthetic {
+        return Ok(
+            DatasetSpec::synthetic("synthetic", n, e, args.features, args.classes)
+                .instantiate(args.seed),
+        );
+    }
+    if let Some(name) = &args.dataset {
+        let wanted = name.to_lowercase().replace('_', "-");
+        let spec = paper_datasets()
+            .into_iter()
+            .find(|s| s.name.to_lowercase() == wanted)
+            .ok_or_else(|| {
+                format!(
+                    "unknown dataset {name}; options: {}",
+                    paper_datasets()
+                        .iter()
+                        .map(|s| s.name.to_lowercase())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+        let scale = args.scale.unwrap_or((spec.edges / 100_000).max(1));
+        return Ok(spec.scaled(scale).instantiate(args.seed));
+    }
+    Err("pick a dataset: --dataset, --synthetic or --edge-list (see --help)".into())
+}
+
+fn obtain_weights(args: &Args, ds: &Dataset) -> Result<WeightSnapshot, String> {
+    if let Some(path) = &args.weights {
+        return WeightSnapshot::load(path);
+    }
+    // Train-first fallback: a short RDM run on the serving cluster size.
+    let cfg = TrainerConfig::rdm_auto(args.ranks)
+        .layers(args.layers)
+        .hidden(args.hidden)
+        .epochs(args.train_epochs)
+        .seed(args.seed);
+    let report = train_gcn(ds, &cfg)?;
+    report
+        .weights
+        .ok_or_else(|| "trainer returned no weight snapshot".into())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ds = match build_dataset(&args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "dataset {}: {} vertices, {} edges (nnz {}), {} features, {} classes",
+        ds.spec.name,
+        ds.n(),
+        ds.adj.nnz() / 2,
+        ds.adj_norm.nnz(),
+        ds.spec.feature_size,
+        ds.spec.labels,
+    );
+    let snap = match obtain_weights(&args, &ds) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "weights: {} layers ({}){}",
+        snap.layers(),
+        snap.feats()
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("→"),
+        if args.weights.is_some() {
+            " loaded"
+        } else {
+            " trained in place"
+        },
+    );
+
+    let load = LoadGen::new(args.seed, args.clients, args.mean_gap, args.requests);
+    let requests = load.generate(ds.n());
+    let mut cfg = ServeConfig::new(args.ranks);
+    cfg.policy = BatchPolicy::new(args.max_batch, args.max_wait);
+    cfg.sparse = args.sparse;
+    cfg.trace = args.trace.is_some();
+    cfg.sample_seed = args.seed;
+    if let Some(budget) = args.budget {
+        cfg.sampler = ServeSampler::Induced { budget };
+    }
+    if let Some(chaos_seed) = args.chaos {
+        cfg.faults = Some(
+            FaultPlan::new(chaos_seed)
+                .drop_rate(args.drop_rate)
+                .delay(0.2, 3)
+                .straggler(0.02, 20_000),
+        );
+    }
+    let out = match serve(&ds, &snap, &requests, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = &out.report;
+    if !args.quiet {
+        println!(
+            "{:>5} {:>5} {:>10} {:>10} {:>10} {:>10}",
+            "batch", "size", "close us", "dispatch", "service", "done us"
+        );
+        for b in &report.batches {
+            println!(
+                "{:>5} {:>5} {:>10} {:>10} {:>10} {:>10}",
+                b.idx, b.size, b.close_us, b.dispatch_us, b.service_us, b.completion_us
+            );
+        }
+    }
+    print!("{}", report.render());
+    if args.chaos.is_some() {
+        println!(
+            "chaos: {} retransmits; logits and payload book bit-identical to fault-free",
+            report.retries
+        );
+    }
+    if let Some(path) = &args.trace {
+        let traces = out.traces.as_ref().expect("traced run returns traces");
+        let events: usize = traces.iter().map(|t| t.events.len()).sum();
+        let json = gnn_rdm::trace::chrome::to_chrome_json(traces, false);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {events} events across {} ranks written to {path} \
+             (chrome://tracing / Perfetto)",
+            traces.len(),
+        );
+    }
+    // The steady-state guarantee the workspace pool exists for: after the
+    // warmup batch, serving must be alloc-free. Fault injection is exempt:
+    // retransmission and reordering raise the peak number of concurrently
+    // live buffers past what the warmup batch could shelve.
+    if args.chaos.is_none() && report.batches.len() >= 2 && report.ws_fresh_steady > 0 {
+        eprintln!(
+            "error: {} fresh workspace allocations after warmup (expected 0)",
+            report.ws_fresh_steady
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -32,6 +32,7 @@ struct Args {
     epochs: usize,
     seed: u64,
     ra: Option<usize>,
+    save_weights: Option<String>,
     overlap: Option<usize>,
     sparse: bool,
     agg: String,
@@ -58,6 +59,7 @@ impl Default for Args {
             epochs: 10,
             seed: 42,
             ra: None,
+            save_weights: None,
             overlap: None,
             sparse: false,
             agg: "gcn".into(),
@@ -92,7 +94,13 @@ MODEL / TRAINING:
   --ranks <p>           simulated GPUs [4]
   --layers <l>          GCN layers [2]
   --hidden <h>          hidden width [128]
-  --ra <r>              adjacency replication factor (rdm only) [P]
+  --ra <r>              adjacency replication factor (rdm only) [P]. The
+                        full rule: r must divide P (the trainer rejects any
+                        other value), and plan selection always returns full
+                        replication first — an explicit r is applied on top.
+                        With --sparse, sparsity re-prices redistribution
+                        volume only; op counts and the compute side of plan
+                        ranking are unchanged
   --overlap <c>         pipeline redistributions into c chunks overlapped
                         with compute (rdm only); results are bit-identical
                         to blocking, hidden comm time is reported
@@ -107,6 +115,8 @@ MODEL / TRAINING:
   --lr <x>              learning rate [0.01]
   --epochs <n>          epochs [10]
   --seed <s>            RNG seed [42]
+  --save-weights <path> write the final trained weights as a snapshot file
+                        that rdm-serve --weights can load
   --trace <out.json>    record per-rank structured traces and write them as
                         Chrome trace JSON (load in chrome://tracing or
                         Perfetto); results are bit-identical to untraced
@@ -149,6 +159,7 @@ fn parse_args() -> Result<Args, String> {
             "--layers" => args.layers = value("--layers")?.parse().map_err(|e| format!("{e}"))?,
             "--hidden" => args.hidden = value("--hidden")?.parse().map_err(|e| format!("{e}"))?,
             "--ra" => args.ra = Some(value("--ra")?.parse().map_err(|e| format!("{e}"))?),
+            "--save-weights" => args.save_weights = Some(value("--save-weights")?),
             "--overlap" => {
                 let c: usize = value("--overlap")?.parse().map_err(|e| format!("{e}"))?;
                 if c == 0 {
@@ -407,6 +418,28 @@ fn main() -> ExitCode {
              ({saved:.1}% saved); results bit-identical to dense",
             actual as f64 / 1e6,
             dense as f64 / 1e6,
+        );
+    }
+    if let Some(path) = &args.save_weights {
+        let snap = match &report.weights {
+            Some(s) => s,
+            None => {
+                eprintln!("error: trainer returned no weight snapshot");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = snap.save(path) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "weights: {} layers ({}) written to {path} (load with rdm-serve --weights)",
+            snap.layers(),
+            snap.feats()
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("→"),
         );
     }
     if let Some(path) = &args.trace {

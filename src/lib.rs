@@ -20,6 +20,10 @@
 //! * [`trace`] — per-rank structured event tracing with Chrome-trace
 //!   export (`rdm-train --trace`), checked against the model's predicted
 //!   schedule by `rdm_model::conformance`.
+//! * [`serve`] — batched online inference serving: a long-lived cluster
+//!   loads a trained weight snapshot and executes a deterministic
+//!   open-loop request stream (`rdm-serve`), reporting virtual p50/p99
+//!   latency and throughput.
 //!
 //! ## Quickstart
 //!
@@ -39,15 +43,19 @@ pub use rdm_core as core;
 pub use rdm_dense as dense;
 pub use rdm_graph as graph;
 pub use rdm_model as model;
+pub use rdm_serve as serve;
 pub use rdm_sparse as sparse;
 pub use rdm_trace as trace;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use rdm_comm::{Cluster, CollectiveKind, CommStats, FaultPlan};
-    pub use rdm_core::{best_plan, train_gcn, Algo, DistMat, LayerOrder, Plan, TrainerConfig};
+    pub use rdm_core::{
+        best_plan, train_gcn, Algo, DistMat, LayerOrder, Plan, TrainerConfig, WeightSnapshot,
+    };
     pub use rdm_dense::Mat;
     pub use rdm_graph::{Dataset, DatasetSpec, SaintSampler};
     pub use rdm_model::{DeviceModel, GnnShape, LayerDims, OrderConfig};
+    pub use rdm_serve::{BatchPolicy, LoadGen, ServeConfig, ServeReport, ServeSampler};
     pub use rdm_sparse::Csr;
 }

@@ -1,0 +1,236 @@
+//! Serving↔engine differential harness: a serving session must be
+//! *invisible* to the math — for the same weight snapshot and the same
+//! minibatch, the logits a request receives from `rdm-serve`'s batched
+//! session are bitwise identical to a direct engine forward, across
+//! cluster sizes, wire formats and fault injection. Chaos additionally
+//! must leave the payload book and the virtual latency timeline untouched:
+//! retransmissions are accounted separately and never perturb results.
+//!
+//! The CI `serve` job sweeps this file over fault seeds (`CHAOS_SEED`).
+
+use gnn_rdm::comm::{Cluster, FaultPlan};
+use gnn_rdm::core::gcn::GcnWeights;
+use gnn_rdm::core::infer::forward_logits;
+use gnn_rdm::core::ops::OpCounters;
+use gnn_rdm::core::{train_gcn, Plan, TrainerConfig, WeightSnapshot};
+use gnn_rdm::dense::mat::part_range;
+use gnn_rdm::graph::{Dataset, DatasetSpec};
+use gnn_rdm::serve::{
+    planned_batches, planned_vertices, serve, LoadGen, ServeConfig, ServeSampler,
+};
+
+/// Fault-seed offset from the environment, so the CI job can sweep
+/// distinct fault universes without code changes.
+fn chaos_base() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn dataset() -> Dataset {
+    DatasetSpec::synthetic("serve-e2e", 120, 900, 12, 4).instantiate(17)
+}
+
+fn snapshot() -> WeightSnapshot {
+    WeightSnapshot::from_weights(&GcnWeights::init(&[12, 10, 4], 23))
+}
+
+/// Direct engine forward of `sub` under `plan`: the full logits matrix,
+/// assembled from each rank's row slice.
+fn reference_logits(
+    sub: &Dataset,
+    snap: &WeightSnapshot,
+    p: usize,
+    plan: &Plan,
+    sparse: bool,
+) -> Vec<Vec<f32>> {
+    let out = Cluster::new(p).run(|ctx| {
+        let weights = snap.to_weights();
+        let mut ops = OpCounters::default();
+        let logits = forward_logits(
+            ctx,
+            &sub.adj_norm,
+            &sub.features,
+            &weights,
+            plan,
+            sparse,
+            &mut ops,
+        );
+        let range = part_range(sub.n(), p, ctx.rank());
+        (range.start, logits.local.as_slice().to_vec(), logits.cols)
+    });
+    let mut rows = vec![Vec::new(); sub.n()];
+    for (start, flat, cols) in out.results {
+        for (i, chunk) in flat.chunks(cols).enumerate() {
+            rows[start + i] = chunk.to_vec();
+        }
+    }
+    rows
+}
+
+fn assert_rows_bitwise(a: &[f32], b: &[f32], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: width");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: {x} != {y}");
+    }
+}
+
+#[test]
+fn full_graph_serving_matches_direct_forward_bitwise() {
+    let ds = dataset();
+    let snap = snapshot();
+    let requests = LoadGen::new(3, 3, 40, 30).generate(ds.n());
+    for p in [1usize, 2, 4] {
+        for sparse in [false, true] {
+            let plan = Plan::from_id(5, 2, p);
+            let mut cfg = ServeConfig::new(p);
+            cfg.plan = Some(plan.clone());
+            cfg.sparse = sparse;
+            let out = serve(&ds, &snap, &requests, &cfg).unwrap();
+            let reference = reference_logits(&ds, &snap, p, &plan, sparse);
+            for r in &out.report.requests {
+                assert_rows_bitwise(
+                    &r.logits,
+                    &reference[r.target as usize],
+                    &format!("P={p} sparse={sparse} request {}", r.idx),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn induced_serving_matches_direct_subgraph_forward_bitwise() {
+    let ds = dataset();
+    let snap = snapshot();
+    let requests = LoadGen::new(9, 2, 25, 32).generate(ds.n());
+    let budget = 48;
+    for p in [1usize, 2, 4] {
+        let plan = Plan::from_id(10, 2, p);
+        let mut cfg = ServeConfig::new(p);
+        cfg.plan = Some(plan.clone());
+        cfg.sampler = ServeSampler::Induced { budget };
+        let out = serve(&ds, &snap, &requests, &cfg).unwrap();
+        // Rebuild each batch's minibatch exactly as the engine did and run
+        // it through a direct forward.
+        for batch in planned_batches(&requests, &cfg.policy) {
+            let verts = planned_vertices(&ds, &batch, budget, cfg.sample_seed);
+            let sub = ds.induced(&verts);
+            let reference = reference_logits(&sub, &snap, p, &plan, false);
+            for r in &batch.requests {
+                let li = verts.binary_search(&r.target).unwrap();
+                let served = &out.report.requests[r.idx];
+                assert_eq!(served.idx, r.idx);
+                assert_rows_bitwise(
+                    &served.logits,
+                    &reference[li],
+                    &format!("P={p} batch {} request {}", batch.idx, r.idx),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_leaves_logits_payload_book_and_timeline_unchanged() {
+    let ds = dataset();
+    let snap = snapshot();
+    let requests = LoadGen::new(21, 4, 30, 40).generate(ds.n());
+    for p in [2usize, 4] {
+        for sparse in [false, true] {
+            let mut cfg = ServeConfig::new(p);
+            cfg.plan = Some(Plan::from_id(5, 2, p));
+            cfg.sparse = sparse;
+            let clean = serve(&ds, &snap, &requests, &cfg).unwrap();
+            assert_eq!(clean.report.retries, 0);
+            let mut chaotic_cfg = cfg.clone();
+            chaotic_cfg.faults = Some(
+                FaultPlan::new(chaos_base().wrapping_add(p as u64))
+                    .drop_rate(0.2)
+                    .delay(0.3, 4)
+                    .straggler(0.02, 10_000),
+            );
+            let chaotic = serve(&ds, &snap, &requests, &chaotic_cfg).unwrap();
+            let label = format!("P={p} sparse={sparse}");
+            assert!(
+                chaotic.report.retries > 0,
+                "{label}: chaos injected nothing"
+            );
+            // Outputs: bitwise identical.
+            for (c, f) in clean.report.requests.iter().zip(&chaotic.report.requests) {
+                assert_rows_bitwise(&c.logits, &f.logits, &format!("{label} request {}", c.idx));
+            }
+            // Payload book: retransmissions excluded, so identical.
+            assert_eq!(
+                clean.report.payload_bytes, chaotic.report.payload_bytes,
+                "{label}: payload book perturbed"
+            );
+            assert_eq!(clean.report.messages, chaotic.report.messages, "{label}");
+            assert!(chaotic.stats.retransmit_bytes > 0, "{label}");
+            // Virtual timeline prices payload bytes only, so latency
+            // quantiles are fault-invariant too.
+            assert_eq!(clean.report.batches, chaotic.report.batches, "{label}");
+            assert_eq!(clean.report.p50_us(), chaotic.report.p50_us(), "{label}");
+            assert_eq!(clean.report.p99_us(), chaotic.report.p99_us(), "{label}");
+        }
+    }
+}
+
+#[test]
+fn trained_snapshot_roundtrips_through_serving() {
+    // End-to-end: train, snapshot via TrainReport, byte-roundtrip, serve,
+    // and check against a direct forward with the same snapshot.
+    let ds = dataset();
+    let cfg = TrainerConfig::rdm_auto(2).hidden(10).epochs(2).seed(5);
+    let report = train_gcn(&ds, &cfg).unwrap();
+    let snap = report.weights.expect("trainer returns final weights");
+    let snap = WeightSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let requests = LoadGen::new(1, 2, 50, 16).generate(ds.n());
+    let plan = Plan::from_id(0, 2, 2);
+    let mut scfg = ServeConfig::new(2);
+    scfg.plan = Some(plan.clone());
+    let out = serve(&ds, &snap, &requests, &scfg).unwrap();
+    let reference = reference_logits(&ds, &snap, 2, &plan, false);
+    for r in &out.report.requests {
+        assert_rows_bitwise(&r.logits, &reference[r.target as usize], "trained snapshot");
+    }
+}
+
+#[test]
+fn serving_report_replays_byte_identically() {
+    let ds = dataset();
+    let snap = snapshot();
+    let requests = LoadGen::new(13, 3, 20, 40).generate(ds.n());
+    let mut cfg = ServeConfig::new(4);
+    cfg.sampler = ServeSampler::Induced { budget: 40 };
+    cfg.sparse = true;
+    let a = serve(&ds, &snap, &requests, &cfg).unwrap();
+    let b = serve(&ds, &snap, &requests, &cfg).unwrap();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.report.render(), b.report.render());
+}
+
+/// Regression for the trainer's replication-factor rejection path, the
+/// rule `rdm-train --ra` and `best_plan_with_sparsity` document: `r_a`
+/// must divide `P`, and zero is never valid.
+#[test]
+fn trainer_rejects_replication_factors_that_do_not_divide_p() {
+    let ds = dataset();
+    for (p, ra) in [(4usize, 3usize), (4, 0), (6, 4)] {
+        let plan = Plan::from_id(0, 2, p).with_ra(ra);
+        let cfg = TrainerConfig::rdm(p, plan).hidden(8).epochs(1);
+        let err = train_gcn(&ds, &cfg).unwrap_err();
+        assert!(
+            err.contains("must divide"),
+            "P={p} r_a={ra}: unexpected error {err:?}"
+        );
+    }
+    // The serving engine enforces the stricter serving-side rule.
+    let snap = snapshot();
+    let requests = LoadGen::new(2, 1, 10, 4).generate(ds.n());
+    let mut cfg = ServeConfig::new(4);
+    cfg.plan = Some(Plan::from_id(0, 2, 4).with_ra(2));
+    let err = serve(&ds, &snap, &requests, &cfg).unwrap_err();
+    assert!(err.contains("must equal"), "unexpected error {err:?}");
+}
