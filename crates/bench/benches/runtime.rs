@@ -14,7 +14,10 @@
 //!   makespan assertion is deterministic and runs everywhere.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rdm_graph::{rmat, symmetrize};
+use rdm_core::{train_gcn, TrainerConfig};
+use rdm_dense::kernels::{with_mode, Mode};
+use rdm_dense::{gemm, Mat};
+use rdm_graph::{rmat, symmetrize, DatasetSpec};
 use rdm_sparse::{balanced_panels, gcn_normalize, spmm, Csr};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -164,5 +167,96 @@ fn bench_spmm_balance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_spmm_balance);
+/// The `--fast-kernels` microkernels, measured head to head against the
+/// scalar bitwise reference they shadow: raw GEMM and SpMM throughput at
+/// the auto-detected lane width (these two ratios calibrate
+/// `DeviceModel::a6000_pcie_fast`), and the end-to-end training epoch on
+/// the bench-smoke configuration, which must come out ≥ 2× faster.
+fn bench_fast_kernels(c: &mut Criterion) {
+    let fast = Mode::Fast(rdm_dense::kernels::detect_width());
+
+    // Raw GEMM: a training-shaped tile (tall activations × square weights).
+    let a = Mat::random(512, 192, 1.0, 1);
+    let b = Mat::random(192, 192, 1.0, 2);
+    with_mode(fast, || black_box(gemm(&a, &b))); // warm the pool
+    let t_gemm_scalar = min_batch_time(5, 3, || {
+        black_box(gemm(&a, &b));
+    });
+    let t_gemm_fast = with_mode(fast, || {
+        min_batch_time(5, 3, || {
+            black_box(gemm(&a, &b));
+        })
+    });
+    let gemm_speedup = t_gemm_scalar.as_secs_f64() / t_gemm_fast.as_secs_f64();
+
+    // Raw SpMM on the skewed RMAT graph the panel scheduler targets.
+    let n = 1 << 12;
+    let adj = gcn_normalize(&symmetrize(n, &rmat(n, 16 * n, 7)));
+    let feats = Mat::random(n, 64, 1.0, 3);
+    let t_spmm_scalar = min_batch_time(5, 3, || {
+        black_box(spmm(&adj, &feats));
+    });
+    let t_spmm_fast = with_mode(fast, || {
+        min_batch_time(5, 3, || {
+            black_box(spmm(&adj, &feats));
+        })
+    });
+    let spmm_speedup = t_spmm_scalar.as_secs_f64() / t_spmm_fast.as_secs_f64();
+    eprintln!(
+        "fast kernels ({fast:?}): gemm 512x192x192 {t_gemm_scalar:?} -> {t_gemm_fast:?} \
+         ({gemm_speedup:.2}x), spmm rmat(n={n})x64 {t_spmm_scalar:?} -> {t_spmm_fast:?} \
+         ({spmm_speedup:.2}x)"
+    );
+
+    // End-to-end: the bench-smoke training config. Compute-heavy (wide
+    // features and hidden layer) so kernel time dominates the epoch, as
+    // it does at paper scale.
+    let ds = DatasetSpec::synthetic("fastk", 2048, 8 * 2048, 192, 8).instantiate(3);
+    let scalar_cfg = TrainerConfig::rdm_auto(2).hidden(192).epochs(2);
+    let fast_cfg = scalar_cfg.clone().fast_kernels();
+    train_gcn(&ds, &fast_cfg).unwrap(); // warm-up
+    let time_train = |cfg: &TrainerConfig| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(train_gcn(&ds, cfg).unwrap());
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let t_epoch_scalar = time_train(&scalar_cfg);
+    let t_epoch_fast = time_train(&fast_cfg);
+    let epoch_speedup = t_epoch_scalar.as_secs_f64() / t_epoch_fast.as_secs_f64();
+    eprintln!(
+        "fast kernels: bench-smoke epoch {t_epoch_scalar:?} -> {t_epoch_fast:?} \
+         ({epoch_speedup:.2}x)"
+    );
+    assert!(
+        epoch_speedup >= 2.0,
+        "--fast-kernels must deliver >= 2x on the bench-smoke epoch \
+         (measured {epoch_speedup:.2}x: scalar {t_epoch_scalar:?}, fast {t_epoch_fast:?})"
+    );
+
+    let mut group = c.benchmark_group("fast_kernels");
+    group.sample_size(10);
+    group.bench_function("gemm_scalar", |bch| bch.iter(|| black_box(gemm(&a, &b))));
+    group.bench_function("gemm_fast", |bch| {
+        bch.iter(|| with_mode(fast, || black_box(gemm(&a, &b))))
+    });
+    group.bench_function("spmm_scalar", |bch| {
+        bch.iter(|| black_box(spmm(&adj, &feats)))
+    });
+    group.bench_function("spmm_fast", |bch| {
+        bch.iter(|| with_mode(fast, || black_box(spmm(&adj, &feats))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_spmm_balance,
+    bench_fast_kernels
+);
 criterion_main!(benches);

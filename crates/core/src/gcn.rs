@@ -188,6 +188,7 @@ fn spmm_via_col(
         rows: panel.rows(),
         cols: out.local.cols(),
         nnz: panel.nnz(),
+        width: rdm_dense::kernels::active_width(),
     }));
     cache.put(col);
     out
@@ -285,6 +286,7 @@ fn gemm_via_row(
         m: out.local.rows(),
         n: if transpose_w { w.rows() } else { w.cols() },
         k: if transpose_w { w.cols() } else { w.rows() },
+        width: rdm_dense::kernels::active_width(),
     }));
     cache.put(row);
     out

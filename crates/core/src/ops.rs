@@ -65,6 +65,7 @@ pub fn dist_gemm(input: &DistMat, w: &Mat, ops: &mut OpCounters) -> DistMat {
         m: input.local.rows(),
         n: w.cols(),
         k: w.rows(),
+        width: rdm_dense::kernels::active_width(),
     });
     let local = gemm(&input.local, w);
     ops.gemm_fma += input.local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
@@ -89,6 +90,7 @@ pub fn dist_gemm_nt(input: &DistMat, w: &Mat, ops: &mut OpCounters) -> DistMat {
         m: input.local.rows(),
         n: w.rows(),
         k: w.cols(),
+        width: rdm_dense::kernels::active_width(),
     });
     let local = gemm_nt(&input.local, w);
     ops.gemm_fma += input.local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
@@ -116,6 +118,7 @@ pub fn weight_grad(a: &DistMat, b: &DistMat, ctx: &RankCtx, ops: &mut OpCounters
         m: a.cols,
         n: b.cols,
         k: a.local.rows(),
+        width: rdm_dense::kernels::active_width(),
     });
     let partial = gemm_tn(&a.local, &b.local);
     ops.gemm_fma += a.local.rows() as f64 * a.cols as f64 * b.cols as f64;
@@ -403,6 +406,7 @@ impl Topology {
             rows: panel.rows(),
             cols: input.local.cols(),
             nnz: panel.nnz(),
+            width: rdm_dense::kernels::active_width(),
         });
         let local = match &self.mask {
             None => panel_spmm(self.grid, panel, &input.local, self.n, input.cols, ctx, ops),

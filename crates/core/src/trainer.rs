@@ -12,6 +12,7 @@ use crate::ops::{OpCounters, Topology};
 use crate::plan::{best_plan, Plan};
 use crate::saint::{SaintDdpTrainer, SaintMaskedTrainer, SaintRdmTrainer};
 use rdm_comm::{Cluster, CollectiveKind, FaultPlan, RankCtx};
+use rdm_dense::kernels::{self, Mode as KernelMode};
 use rdm_graph::dataset::{Dataset, Split};
 use rdm_graph::SaintSampler;
 use rdm_model::{DeviceModel, GnnShape};
@@ -77,6 +78,12 @@ pub struct TrainerConfig {
     /// dense-equivalent volume alongside the (smaller or equal) actual
     /// wire bytes.
     pub sparse: bool,
+    /// Kernel path every rank's GEMM/SpMM calls dispatch to. The default,
+    /// [`KernelMode::Scalar`], is the bitwise-reference path every golden
+    /// in the repo pins; `Fast(w)` enables the lane-unrolled microkernels,
+    /// which are run-to-run and rank-count deterministic for a fixed
+    /// width but only epsilon-bounded against scalar.
+    pub kernels: KernelMode,
 }
 
 impl TrainerConfig {
@@ -145,6 +152,7 @@ impl TrainerConfig {
             overlap: None,
             trace: false,
             sparse: false,
+            kernels: KernelMode::Scalar,
         }
     }
 
@@ -198,6 +206,27 @@ impl TrainerConfig {
     /// [`TrainReport::traces`].
     pub fn trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Dispatch every rank's GEMM/SpMM calls to the lane-unrolled fast
+    /// microkernels at the widest profitable width for this host.
+    /// Deterministic run-to-run and across rank counts for a fixed width,
+    /// but only epsilon-bounded against the scalar reference path.
+    pub fn fast_kernels(self) -> Self {
+        self.kernel_mode(KernelMode::Fast(kernels::detect_width()))
+    }
+
+    /// Force a specific kernel mode (differential tests use this to pin
+    /// the lane width regardless of host capabilities). Also swaps the
+    /// simulated [`DeviceModel`] to the calibration matching the kernel
+    /// path, so the report's `sim` times track the executed kernels.
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernels = mode;
+        self.device = match mode {
+            KernelMode::Scalar => DeviceModel::a6000_pcie(),
+            KernelMode::Fast(_) => DeviceModel::a6000_pcie_fast(),
+        };
         self
     }
 
@@ -482,6 +511,9 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         cluster = cluster.traced();
     }
     let out = cluster.run(|ctx| {
+        // Rank threads are spawned fresh per run: pin this rank's kernel
+        // path before any compute.
+        kernels::set_mode(cfg.kernels);
         enum State {
             Rdm(Box<RdmState>),
             Cagnet(Box<CagnetTrainer>),

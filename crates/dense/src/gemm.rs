@@ -7,16 +7,39 @@
 //! * [`gemm_nt`] — `C = A·Bᵀ`  (gradient propagation `G·Wᵀ`)
 //!
 //! All kernels parallelize over disjoint row panels of `C` with rayon, so
-//! they are race-free by construction; within a panel the `i-k-j` loop order
-//! keeps the inner loop a contiguous axpy over rows of `B` (or a dot product
-//! for the transposed variants), which the compiler auto-vectorizes.
+//! they are race-free by construction. Each variant has two
+//! implementations, selected per thread via [`crate::kernels`]:
+//!
+//! * The **scalar** path keeps the `i-k-j` loop order with the inner loop
+//!   a contiguous axpy over rows of `B` (or a sequential dot product for
+//!   `gemm_nt`). It is the bitwise reference every golden in the repo is
+//!   pinned against and is never changed.
+//! * The **fast** path uses lane-unrolled register tiles: `MR×2W`
+//!   accumulator blocks held across the whole `k` loop, so `C` traffic
+//!   drops from `O(m·k·n)` to `O(m·n)` and the compiler maps the
+//!   fixed-width accumulator arrays onto vector registers. Each fast
+//!   body is compiled twice — once at the crate's baseline target and
+//!   once inside an `#[target_feature(enable = "avx2")]` wrapper chosen
+//!   at runtime — but both compilations inline the *same* body (plain
+//!   mul-then-add, never contracted to FMA), so the host CPU affects
+//!   speed only, never bits. For a fixed width the accumulation order
+//!   per output element is fixed (`k` ascending; `gemm_nt` uses `W`
+//!   strided partials plus a pairwise reduction tree), so the fast path
+//!   is run-to-run deterministic but only epsilon-bounded against
+//!   scalar. Width 1 delegates to the scalar kernel and is bitwise-equal
+//!   by construction.
 
+use crate::kernels::{self, Mode, Width};
 use crate::mat::Mat;
 use rayon::prelude::*;
 
 /// Rows of `C` per parallel task. Large enough to amortize task overhead,
 /// small enough to load-balance skewed shapes.
 const ROW_PANEL: usize = 64;
+
+/// Row-tile height of the fast kernels: `MR` independent accumulator
+/// vectors per column block, enough to hide FMA latency.
+const MR: usize = 4;
 
 /// `C = A · B`, allocating the output.
 ///
@@ -39,6 +62,17 @@ pub fn gemm_acc(a: &Mat, b: &Mat, c: &mut Mat) {
     }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    // The kernel mode is read on the calling thread and captured by the
+    // dispatch decision here; pool workers never consult their own
+    // thread-local.
+    match kernels::mode() {
+        Mode::Scalar | Mode::Fast(Width::W1) => scalar_gemm_acc(k, n, a_data, b_data, c),
+        Mode::Fast(Width::W4) => fast_gemm_acc::<4>(k, n, a_data, b_data, c),
+        Mode::Fast(Width::W8) => fast_gemm_acc::<8>(k, n, a_data, b_data, c),
+    }
+}
+
+fn scalar_gemm_acc(k: usize, n: usize, a_data: &[f32], b_data: &[f32], c: &mut Mat) {
     c.as_mut_slice()
         .par_chunks_mut(ROW_PANEL * n)
         .enumerate()
@@ -60,6 +94,162 @@ pub fn gemm_acc(a: &Mat, b: &Mat, c: &mut Mat) {
                 }
             }
         });
+}
+
+// The `[x0, x1, x2, x3]` row unrolls in the tile bodies below are tied to
+// this exact height.
+const _: () = assert!(MR == 4, "fast tile bodies unroll exactly four A rows");
+
+fn fast_gemm_acc<const W: usize>(k: usize, n: usize, a_data: &[f32], b_data: &[f32], c: &mut Mat) {
+    let avx = kernels::avx2_available();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_PANEL * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let i0 = panel * ROW_PANEL;
+            let rows_here = c_panel.len() / n;
+            let mut ii = 0;
+            while ii + MR <= rows_here {
+                let i = i0 + ii;
+                let a_rows = &a_data[i * k..(i + MR) * k];
+                let c_rows = &mut c_panel[ii * n..(ii + MR) * n];
+                tile_nn::<W>(avx, n, a_rows, b_data, c_rows);
+                ii += MR;
+            }
+            while ii < rows_here {
+                let i = i0 + ii;
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let c_row = &mut c_panel[ii * n..(ii + 1) * n];
+                row_nn::<W>(avx, n, a_row, b_data, c_row);
+                ii += 1;
+            }
+        });
+}
+
+/// Route one tile to the AVX2 compilation when the host supports it.
+#[inline]
+fn tile_nn<const W: usize>(avx: bool, n: usize, a_rows: &[f32], b: &[f32], c_rows: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx {
+        // SAFETY: `avx` witnesses runtime AVX2 support.
+        return unsafe { tile_nn_avx2::<W>(n, a_rows, b, c_rows) };
+    }
+    let _ = avx;
+    tile_nn_body::<W>(n, a_rows, b, c_rows)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn tile_nn_avx2<const W: usize>(n: usize, a_rows: &[f32], b: &[f32], c_rows: &mut [f32]) {
+    tile_nn_body::<W>(n, a_rows, b, c_rows)
+}
+
+/// `MR` rows of `C += A·B`: `MR×2W` register accumulators held across the
+/// whole `k` loop (the second `W` block doubles the FMAs amortizing each
+/// load of `A`). Per output element the accumulation order is `k`
+/// ascending — the scalar kernel's order, minus its `aik == 0` skip.
+#[inline(always)]
+fn tile_nn_body<const W: usize>(n: usize, a_rows: &[f32], b: &[f32], c_rows: &mut [f32]) {
+    let k = a_rows.len() / MR;
+    let (a01, a23) = a_rows.split_at(2 * k);
+    let (a0, a1) = a01.split_at(k);
+    let (a2, a3) = a23.split_at(k);
+    let mut j = 0;
+    while j + 2 * W <= n {
+        let mut lo = [[0.0f32; W]; MR];
+        let mut hi = [[0.0f32; W]; MR];
+        for ((((b_row, &x0), &x1), &x2), &x3) in b.chunks_exact(n).zip(a0).zip(a1).zip(a2).zip(a3) {
+            let b_blk = &b_row[j..j + 2 * W];
+            for (r, &x) in [x0, x1, x2, x3].iter().enumerate() {
+                for l in 0..W {
+                    lo[r][l] += x * b_blk[l];
+                    hi[r][l] += x * b_blk[W + l];
+                }
+            }
+        }
+        for r in 0..MR {
+            let c_blk = &mut c_rows[r * n + j..r * n + j + 2 * W];
+            for l in 0..W {
+                c_blk[l] += lo[r][l];
+                c_blk[W + l] += hi[r][l];
+            }
+        }
+        j += 2 * W;
+    }
+    if j + W <= n {
+        let mut acc = [[0.0f32; W]; MR];
+        for ((((b_row, &x0), &x1), &x2), &x3) in b.chunks_exact(n).zip(a0).zip(a1).zip(a2).zip(a3) {
+            let b_blk = &b_row[j..j + W];
+            for (r, &x) in [x0, x1, x2, x3].iter().enumerate() {
+                for l in 0..W {
+                    acc[r][l] += x * b_blk[l];
+                }
+            }
+        }
+        for r in 0..MR {
+            let c_blk = &mut c_rows[r * n + j..r * n + j + W];
+            for l in 0..W {
+                c_blk[l] += acc[r][l];
+            }
+        }
+        j += W;
+    }
+    // Lane tail (`n % W` columns): width-1 blocks, same k-ascending order.
+    while j < n {
+        for (r, a_row) in [a0, a1, a2, a3].iter().enumerate() {
+            let mut acc = 0.0f32;
+            for (b_row, &x) in b.chunks_exact(n).zip(*a_row) {
+                acc += x * b_row[j];
+            }
+            c_rows[r * n + j] += acc;
+        }
+        j += 1;
+    }
+}
+
+/// Single-row remainder of [`tile_nn_body`] for `rows_here % MR` rows.
+#[inline]
+fn row_nn<const W: usize>(avx: bool, n: usize, a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx {
+        // SAFETY: `avx` witnesses runtime AVX2 support.
+        return unsafe { row_nn_avx2::<W>(n, a_row, b, c_row) };
+    }
+    let _ = avx;
+    row_nn_body::<W>(n, a_row, b, c_row)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn row_nn_avx2<const W: usize>(n: usize, a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
+    row_nn_body::<W>(n, a_row, b, c_row)
+}
+
+#[inline(always)]
+fn row_nn_body<const W: usize>(n: usize, a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
+    let mut j = 0;
+    while j + W <= n {
+        let mut acc = [0.0f32; W];
+        for (b_row, &x) in b.chunks_exact(n).zip(a_row) {
+            let b_blk = &b_row[j..j + W];
+            for l in 0..W {
+                acc[l] += x * b_blk[l];
+            }
+        }
+        let c_blk = &mut c_row[j..j + W];
+        for l in 0..W {
+            c_blk[l] += acc[l];
+        }
+        j += W;
+    }
+    while j < n {
+        let mut acc = 0.0f32;
+        for (b_row, &x) in b.chunks_exact(n).zip(a_row) {
+            acc += x * b_row[j];
+        }
+        c_row[j] += acc;
+        j += 1;
+    }
 }
 
 /// `C = Aᵀ · B`, allocating the output (`A: k×m`, `B: k×n`, `C: m×n`).
@@ -84,6 +274,14 @@ pub fn gemm_tn_acc(a: &Mat, b: &Mat, c: &mut Mat) {
     }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    match kernels::mode() {
+        Mode::Scalar | Mode::Fast(Width::W1) => scalar_gemm_tn_acc(k, m, n, a_data, b_data, c),
+        Mode::Fast(Width::W4) => fast_gemm_tn_acc::<4>(m, n, a_data, b_data, c),
+        Mode::Fast(Width::W8) => fast_gemm_tn_acc::<8>(m, n, a_data, b_data, c),
+    }
+}
+
+fn scalar_gemm_tn_acc(k: usize, m: usize, n: usize, a_data: &[f32], b_data: &[f32], c: &mut Mat) {
     // Weight-gradient shapes have small m, n (feature dims) and large k
     // (vertices): panels of C rows correspond to strided columns of A.
     c.as_mut_slice()
@@ -109,9 +307,151 @@ pub fn gemm_tn_acc(a: &Mat, b: &Mat, c: &mut Mat) {
         });
 }
 
+fn fast_gemm_tn_acc<const W: usize>(
+    m: usize,
+    n: usize,
+    a_data: &[f32],
+    b_data: &[f32],
+    c: &mut Mat,
+) {
+    let avx = kernels::avx2_available();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_PANEL * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let i0 = panel * ROW_PANEL;
+            let rows_here = c_panel.len() / n;
+            let mut ii = 0;
+            while ii < rows_here {
+                let mr = MR.min(rows_here - ii);
+                tile_tn::<W>(
+                    avx,
+                    m,
+                    n,
+                    i0 + ii,
+                    a_data,
+                    b_data,
+                    &mut c_panel[ii * n..],
+                    mr,
+                );
+                ii += mr;
+            }
+        });
+}
+
+/// Route one tile to the AVX2 compilation when the host supports it.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tile_tn<const W: usize>(
+    avx: bool,
+    m: usize,
+    n: usize,
+    i_base: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    mr: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx {
+        // SAFETY: `avx` witnesses runtime AVX2 support.
+        return unsafe { tile_tn_avx2::<W>(m, n, i_base, a, b, c_rows, mr) };
+    }
+    let _ = avx;
+    tile_tn_body::<W>(m, n, i_base, a, b, c_rows, mr)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+fn tile_tn_avx2<const W: usize>(
+    m: usize,
+    n: usize,
+    i_base: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    mr: usize,
+) {
+    tile_tn_body::<W>(m, n, i_base, a, b, c_rows, mr)
+}
+
+/// `mr ≤ MR` rows of `C += Aᵀ·B` starting at absolute row `i_base` of
+/// `C` (column `i_base` of `A`), with `MR×2W` register accumulators.
+/// Accumulation order per element is `k` ascending, matching the scalar
+/// kernel minus its zero-skip.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_tn_body<const W: usize>(
+    m: usize,
+    n: usize,
+    i_base: usize,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    mr: usize,
+) {
+    let mut j = 0;
+    while j + 2 * W <= n {
+        let mut lo = [[0.0f32; W]; MR];
+        let mut hi = [[0.0f32; W]; MR];
+        for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+            let b_blk = &b_row[j..j + 2 * W];
+            let a_blk = &a_row[i_base..i_base + mr];
+            for ((acc_lo, acc_hi), &x) in lo.iter_mut().zip(&mut hi).zip(a_blk) {
+                for l in 0..W {
+                    acc_lo[l] += x * b_blk[l];
+                    acc_hi[l] += x * b_blk[W + l];
+                }
+            }
+        }
+        for (r, (acc_lo, acc_hi)) in lo.iter().zip(&hi).take(mr).enumerate() {
+            let c_blk = &mut c_rows[r * n + j..r * n + j + 2 * W];
+            for l in 0..W {
+                c_blk[l] += acc_lo[l];
+                c_blk[W + l] += acc_hi[l];
+            }
+        }
+        j += 2 * W;
+    }
+    if j + W <= n {
+        let mut acc = [[0.0f32; W]; MR];
+        for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+            let b_blk = &b_row[j..j + W];
+            let a_blk = &a_row[i_base..i_base + mr];
+            for (acc_r, &x) in acc.iter_mut().zip(a_blk) {
+                for l in 0..W {
+                    acc_r[l] += x * b_blk[l];
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().take(mr).enumerate() {
+            let c_blk = &mut c_rows[r * n + j..r * n + j + W];
+            for l in 0..W {
+                c_blk[l] += acc_r[l];
+            }
+        }
+        j += W;
+    }
+    while j < n {
+        for r in 0..mr {
+            let mut acc = 0.0f32;
+            for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+                acc += a_row[i_base + r] * b_row[j];
+            }
+            c_rows[r * n + j] += acc;
+        }
+        j += 1;
+    }
+}
+
 /// `C = A · Bᵀ`, allocating the output (`A: m×k`, `B: n×k`, `C: m×n`).
 ///
-/// The inner loop is a dot product of two contiguous length-`k` rows.
+/// The inner loop is a dot product of two contiguous length-`k` rows. The
+/// fast path splits the dot into `W` strided partial accumulators folded
+/// by a fixed pairwise reduction tree, then adds the `k % W` tail
+/// sequentially — a fixed order per width, so deterministic, but
+/// different rounding from the scalar sequential sum.
 pub fn gemm_nt(a: &Mat, b: &Mat) -> Mat {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
@@ -122,6 +462,15 @@ pub fn gemm_nt(a: &Mat, b: &Mat) -> Mat {
     }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    match kernels::mode() {
+        Mode::Scalar | Mode::Fast(Width::W1) => scalar_gemm_nt(k, n, a_data, b_data, &mut c),
+        Mode::Fast(Width::W4) => fast_gemm_nt::<4>(k, n, a_data, b_data, &mut c),
+        Mode::Fast(Width::W8) => fast_gemm_nt::<8>(k, n, a_data, b_data, &mut c),
+    }
+    c
+}
+
+fn scalar_gemm_nt(k: usize, n: usize, a_data: &[f32], b_data: &[f32], c: &mut Mat) {
     c.as_mut_slice()
         .par_chunks_mut(ROW_PANEL * n)
         .enumerate()
@@ -141,12 +490,82 @@ pub fn gemm_nt(a: &Mat, b: &Mat) -> Mat {
                 }
             }
         });
-    c
+}
+
+fn fast_gemm_nt<const W: usize>(k: usize, n: usize, a_data: &[f32], b_data: &[f32], c: &mut Mat) {
+    let avx = kernels::avx2_available();
+    c.as_mut_slice()
+        .par_chunks_mut(ROW_PANEL * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let i0 = panel * ROW_PANEL;
+            let rows_here = c_panel.len() / n;
+            for ii in 0..rows_here {
+                let a_row = &a_data[(i0 + ii) * k..(i0 + ii + 1) * k];
+                let c_row = &mut c_panel[ii * n..(ii + 1) * n];
+                nt_row::<W>(avx, k, a_row, b_data, c_row);
+            }
+        });
+}
+
+/// Route one output row to the AVX2 compilation when the host supports it.
+#[inline]
+fn nt_row<const W: usize>(avx: bool, k: usize, a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx {
+        // SAFETY: `avx` witnesses runtime AVX2 support.
+        return unsafe { nt_row_avx2::<W>(k, a_row, b, c_row) };
+    }
+    let _ = avx;
+    nt_row_body::<W>(k, a_row, b, c_row)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn nt_row_avx2<const W: usize>(k: usize, a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
+    nt_row_body::<W>(k, a_row, b, c_row)
+}
+
+#[inline(always)]
+fn nt_row_body<const W: usize>(k: usize, a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
+    for (cv, b_row) in c_row.iter_mut().zip(b.chunks_exact(k)) {
+        *cv += fast_dot::<W>(a_row, b_row);
+    }
+}
+
+/// Lane-unrolled dot product: `W` strided partial sums over the body,
+/// folded with a fixed pairwise tree, then the `k % W` tail added
+/// sequentially. The order is a pure function of `k` and `W`.
+#[inline(always)]
+fn fast_dot<const W: usize>(a: &[f32], b: &[f32]) -> f32 {
+    let a_chunks = a.chunks_exact(W);
+    let b_chunks = b.chunks_exact(W);
+    let a_tail = a_chunks.remainder();
+    let b_tail = b_chunks.remainder();
+    let mut acc = [0.0f32; W];
+    for (a_blk, b_blk) in a_chunks.zip(b_chunks) {
+        for l in 0..W {
+            acc[l] += a_blk[l] * b_blk[l];
+        }
+    }
+    let mut stride = W / 2;
+    while stride > 0 {
+        for l in 0..stride {
+            acc[l] += acc[l + stride];
+        }
+        stride /= 2;
+    }
+    let mut sum = acc[0];
+    for (&av, &bv) in a_tail.iter().zip(b_tail) {
+        sum += av * bv;
+    }
+    sum
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::{with_mode, Mode, Width};
     use crate::ops::allclose;
 
     fn gemm_ref(a: &Mat, b: &Mat) -> Mat {
@@ -255,6 +674,61 @@ mod tests {
             let mut c = keep.clone();
             gemm_tn_acc(&Mat::zeros(k, m), &Mat::zeros(k, n), &mut c);
             assert_eq!(c, keep);
+        }
+    }
+
+    #[test]
+    fn fast_variants_handle_zero_dimensions_at_every_width() {
+        // Regression for the lane-tail and k == 0 edge cases: the fast
+        // dispatch must hit the same early-outs as scalar for all widths.
+        for width in Width::all() {
+            with_mode(Mode::Fast(width), || {
+                for (m, k, n) in [(0, 4, 3), (3, 0, 2), (3, 4, 0), (0, 0, 0)] {
+                    assert_eq!(gemm(&Mat::zeros(m, k), &Mat::zeros(k, n)).shape(), (m, n));
+                    assert_eq!(
+                        gemm_tn(&Mat::zeros(k, m), &Mat::zeros(k, n)).shape(),
+                        (m, n)
+                    );
+                    assert_eq!(
+                        gemm_nt(&Mat::zeros(m, k), &Mat::zeros(n, k)).shape(),
+                        (m, n)
+                    );
+                    let mut c = Mat::from_fn(m, n, |i, j| (i + 2 * j) as f32 + 1.0);
+                    let keep = c.clone();
+                    gemm_acc(&Mat::zeros(m, k), &Mat::zeros(k, n), &mut c);
+                    assert_eq!(c, keep);
+                    let mut c = keep.clone();
+                    gemm_tn_acc(&Mat::zeros(k, m), &Mat::zeros(k, n), &mut c);
+                    assert_eq!(c, keep);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn fast_cols_narrower_than_width_use_the_lane_tail() {
+        // n < W exercises the pure-remainder column loop; k < W exercises
+        // the gemm_nt sequential tail with an empty vector body.
+        for width in Width::all() {
+            with_mode(Mode::Fast(width), || {
+                for (m, k, n) in [(5, 7, 1), (9, 2, 3), (MR + 1, 1, 2), (2, 3, 5)] {
+                    let a = Mat::random(m, k, 1.0, (10 * m + k) as u64);
+                    let b = Mat::random(k, n, 1.0, (10 * k + n) as u64);
+                    assert!(allclose(&gemm(&a, &b), &gemm_ref(&a, &b), 1e-4));
+                    let bt = Mat::random(n, k, 1.0, (3 * k + n) as u64);
+                    assert!(allclose(
+                        &gemm_nt(&a, &bt),
+                        &gemm_ref(&a, &bt.transpose()),
+                        1e-4
+                    ));
+                    let at = Mat::random(k, m, 1.0, (7 * m + k) as u64);
+                    assert!(allclose(
+                        &gemm_tn(&at, &b),
+                        &gemm_ref(&at.transpose(), &b),
+                        1e-4
+                    ));
+                }
+            });
         }
     }
 }

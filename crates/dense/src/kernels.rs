@@ -1,0 +1,190 @@
+//! Kernel-path selection: scalar reference vs lane-unrolled fast kernels.
+//!
+//! Every GEMM variant in [`mod@crate::gemm`] (and the SpMM kernels in
+//! `rdm-sparse`) exists in two implementations:
+//!
+//! * **Scalar** — the canonical, bitwise-reference path. Every
+//!   equivalence golden in the repo is pinned against it.
+//! * **Fast** — a portable, lane-unrolled accumulator-block kernel with a
+//!   fixed width `W ∈ {1, 4, 8}`. For a fixed width the fast path is
+//!   run-to-run and rank-count deterministic (the accumulation order per
+//!   output element is fixed), but it is only epsilon/ULP-bounded against
+//!   the scalar reference — except width 1, which delegates to the scalar
+//!   kernel and is therefore bitwise identical to it.
+//!
+//! The selection is a *thread-local* [`Mode`], defaulting to
+//! [`Mode::Scalar`]. Engine entry points (`train_gcn`, `serve`) set the
+//! mode at the top of each rank closure; kernel entry points read the
+//! mode **on the calling thread** and capture it by value before any
+//! parallel dispatch, so worker-pool threads never consult their own
+//! thread-local. Tests force a specific width with [`with_mode`] — the
+//! forced-width hook this module exposes in the same spirit as
+//! `rayon::internals::run_pooled`.
+
+use std::cell::Cell;
+
+/// Lane width of the fast kernels' accumulator blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// One lane: the fast dispatcher delegates to the scalar kernel, so
+    /// this width is bitwise-equal to the reference by construction.
+    W1,
+    /// Four lanes (128-bit vectors: SSE2 / NEON).
+    W4,
+    /// Eight lanes (256-bit vectors: AVX/AVX2).
+    W8,
+}
+
+impl Width {
+    /// Number of `f32` lanes.
+    pub fn lanes(self) -> usize {
+        match self {
+            Width::W1 => 1,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// All widths, for exhaustive differential sweeps.
+    pub fn all() -> [Width; 3] {
+        [Width::W1, Width::W4, Width::W8]
+    }
+}
+
+/// Which kernel implementation the current thread dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Canonical scalar kernels — the bitwise reference.
+    Scalar,
+    /// Lane-unrolled fast kernels at a fixed width.
+    Fast(Width),
+}
+
+impl Mode {
+    /// Effective lane width: 1 for the scalar path.
+    pub fn width(self) -> usize {
+        match self {
+            Mode::Scalar => 1,
+            Mode::Fast(w) => w.lanes(),
+        }
+    }
+}
+
+thread_local! {
+    static MODE: Cell<Mode> = const { Cell::new(Mode::Scalar) };
+}
+
+/// Pick the widest profitable lane width for this host. Portable
+/// heuristic: 256-bit vectors where AVX is available, 128-bit otherwise.
+pub fn detect_width() -> Width {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") || is_x86_feature_detected!("avx") {
+            return Width::W8;
+        }
+        Width::W4
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Width::W4
+    }
+}
+
+/// Whether the running CPU can execute the AVX2-specialized compilation
+/// of the fast kernel bodies. The specialization changes instruction
+/// selection only — both compilations inline the *same* body (plain
+/// mul-then-add, never contracted to FMA), so which one runs is invisible
+/// to every determinism contract: bits depend on the forced [`Width`]
+/// alone, never on the host.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Set the calling thread's kernel mode. Engine rank closures call this
+/// once at spawn; prefer [`with_mode`] in tests so the previous mode is
+/// restored on exit.
+pub fn set_mode(mode: Mode) {
+    MODE.with(|m| m.set(mode));
+}
+
+/// The calling thread's kernel mode.
+pub fn mode() -> Mode {
+    MODE.with(|m| m.get())
+}
+
+/// Lane width the calling thread's kernels run at (1 for scalar).
+pub fn active_width() -> usize {
+    mode().width()
+}
+
+/// Run `f` with the kernel mode forced to `mode`, restoring the previous
+/// mode afterwards (also on panic). This is the forced-width hook the
+/// differential suites use to exercise every lane width on any host.
+pub fn with_mode<R>(mode: Mode, f: impl FnOnce() -> R) -> R {
+    struct Restore(Mode);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_mode(self.0);
+        }
+    }
+    let _restore = Restore(self::mode());
+    set_mode(mode);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_scalar() {
+        std::thread::spawn(|| {
+            assert_eq!(mode(), Mode::Scalar);
+            assert_eq!(active_width(), 1);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn with_mode_scopes_and_restores() {
+        let before = mode();
+        with_mode(Mode::Fast(Width::W8), || {
+            assert_eq!(mode(), Mode::Fast(Width::W8));
+            assert_eq!(active_width(), 8);
+            with_mode(Mode::Fast(Width::W4), || {
+                assert_eq!(active_width(), 4);
+            });
+            assert_eq!(active_width(), 8);
+        });
+        assert_eq!(mode(), before);
+    }
+
+    #[test]
+    fn with_mode_restores_on_panic() {
+        let res = std::panic::catch_unwind(|| {
+            with_mode(Mode::Fast(Width::W4), || panic!("boom"));
+        });
+        assert!(res.is_err());
+        assert_eq!(mode(), Mode::Scalar);
+    }
+
+    #[test]
+    fn widths_enumerate_lanes() {
+        assert_eq!(
+            Width::all().map(Width::lanes),
+            [1, 4, 8],
+            "forced-width sweep must cover every kernel instantiation"
+        );
+        assert_eq!(Mode::Scalar.width(), 1);
+        assert!(Mode::Fast(detect_width()).width() >= 4);
+    }
+}

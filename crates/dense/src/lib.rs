@@ -10,18 +10,22 @@
 //!
 //! * [`mat`] — the matrix type, constructors, slicing and layout helpers.
 //! * [`mod@gemm`] — `C = A·B`, `C = Aᵀ·B`, `C = A·Bᵀ` with accumulate variants.
+//! * [`kernels`] — scalar-vs-fast kernel-path selection (thread-local
+//!   [`KernelMode`] with a forced-width hook for differential tests).
 //! * [`ops`] — element-wise operations (ReLU and its derivative, Hadamard,
 //!   axpy, softmax / log-softmax rows).
 //! * [`split`] — the divide/merge kernels from Fig. 7 of the paper used by
 //!   row↔column redistribution.
 
 pub mod gemm;
+pub mod kernels;
 pub mod mat;
 pub mod ops;
 pub mod pool;
 pub mod split;
 
 pub use gemm::{gemm, gemm_acc, gemm_nt, gemm_tn, gemm_tn_acc};
+pub use kernels::{Mode as KernelMode, Width as KernelWidth};
 pub use mat::{part_range, Mat};
 pub use ops::{
     add_assign, allclose, hadamard, log_softmax_rows, max_abs_diff, relu, relu_backward, scale,

@@ -1,0 +1,165 @@
+//! Differential property suite for the lane-unrolled GEMM microkernels:
+//! every fast width vs the scalar bitwise reference, swept over ragged
+//! shapes (m/n/k deliberately not multiples of the lane width), zero
+//! dimensions and single rows. Width 1 must be *bitwise* equal to scalar
+//! (it delegates to the same code); widths 4 and 8 are only required to
+//! stay within a tight ULP/relative-error envelope, but must be
+//! deterministic run-to-run.
+
+use proptest::prelude::*;
+use rdm_dense::kernels::{with_mode, Mode, Width};
+use rdm_dense::{gemm, gemm_acc, gemm_nt, gemm_tn, gemm_tn_acc, Mat};
+
+/// Monotonic integer ordinal of an f32: adjacent finite floats differ by
+/// one, and ±0 map to the same point.
+fn ordinal(x: f32) -> i64 {
+    let b = x.to_bits();
+    if b & 0x8000_0000 != 0 {
+        -((b & 0x7FFF_FFFF) as i64)
+    } else {
+        b as i64
+    }
+}
+
+fn ulps(a: f32, b: f32) -> i64 {
+    (ordinal(a) - ordinal(b)).abs()
+}
+
+/// The fast-vs-scalar contract: every element within `max_ulps` ULPs or
+/// within `rel` relative error (the latter absorbs catastrophic
+/// cancellation, where ULP distance on a tiny result is meaningless).
+fn assert_close(fast: &Mat, scalar: &Mat, max_ulps: i64, rel: f32, label: &str) {
+    assert_eq!(fast.shape(), scalar.shape(), "{label}: shape");
+    for (i, (&f, &s)) in fast
+        .as_slice()
+        .iter()
+        .zip(scalar.as_slice().iter())
+        .enumerate()
+    {
+        let scale = 1.0f32.max(f.abs()).max(s.abs());
+        assert!(
+            ulps(f, s) <= max_ulps || (f - s).abs() <= rel * scale,
+            "{label}: element {i}: fast {f} vs scalar {s} ({} ulps)",
+            ulps(f, s)
+        );
+    }
+}
+
+fn assert_bitwise(fast: &Mat, scalar: &Mat, label: &str) {
+    assert_eq!(fast.shape(), scalar.shape(), "{label}: shape");
+    for (i, (&f, &s)) in fast
+        .as_slice()
+        .iter()
+        .zip(scalar.as_slice().iter())
+        .enumerate()
+    {
+        assert_eq!(f.to_bits(), s.to_bits(), "{label}: element {i}: {f} vs {s}");
+    }
+}
+
+/// Run all five GEMM variants on one shape under the current thread's
+/// kernel mode. Returns (gemm, gemm_tn, gemm_nt, gemm_acc, gemm_tn_acc).
+fn all_variants(m: usize, k: usize, n: usize, seed: u64) -> [Mat; 5] {
+    let a = Mat::random(m, k, 1.0, seed);
+    let b = Mat::random(k, n, 1.0, seed + 1);
+    let at = Mat::random(k, m, 1.0, seed + 2);
+    let bt = Mat::random(n, k, 1.0, seed + 3);
+    let c0 = Mat::random(m, n, 1.0, seed + 4);
+    let mut acc = c0.clone();
+    gemm_acc(&a, &b, &mut acc);
+    let mut acc_tn = c0.clone();
+    gemm_tn_acc(&at, &b, &mut acc_tn);
+    [
+        gemm(&a, &b),
+        gemm_tn(&at, &b),
+        gemm_nt(&a, &bt),
+        acc,
+        acc_tn,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Ragged sweep: every fast width stays in the ULP/relative envelope
+    /// of the scalar reference on shapes straddling the lane width.
+    #[test]
+    fn fast_widths_match_scalar_on_ragged_shapes(
+        m in 1usize..22, k in 1usize..26, n in 1usize..22, seed in 0u64..1000,
+    ) {
+        let scalar = all_variants(m, k, n, seed);
+        for width in [Width::W4, Width::W8] {
+            let fast = with_mode(Mode::Fast(width), || all_variants(m, k, n, seed));
+            for (v, (f, s)) in fast.iter().zip(&scalar).enumerate() {
+                // The envelope scales with the reduction length; k ≤ 26
+                // here, so 64 ULPs is already generous.
+                assert_close(f, s, 64, 1e-4, &format!("{width:?} variant {v} ({m}x{k}x{n})"));
+            }
+        }
+    }
+
+    /// Width 1 is the scalar kernel by construction: bitwise equal.
+    #[test]
+    fn width1_is_bitwise_scalar(
+        m in 1usize..16, k in 1usize..16, n in 1usize..16, seed in 0u64..1000,
+    ) {
+        let scalar = all_variants(m, k, n, seed);
+        let w1 = with_mode(Mode::Fast(Width::W1), || all_variants(m, k, n, seed));
+        for (v, (f, s)) in w1.iter().zip(&scalar).enumerate() {
+            assert_bitwise(f, s, &format!("W1 variant {v} ({m}x{k}x{n})"));
+        }
+    }
+
+    /// The fast path is a pure function of (inputs, width): re-running
+    /// yields identical bits, including across thread-pool scheduling.
+    #[test]
+    fn fast_path_is_run_to_run_deterministic(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000,
+    ) {
+        for width in Width::all() {
+            let one = with_mode(Mode::Fast(width), || all_variants(m, k, n, seed));
+            let two = with_mode(Mode::Fast(width), || all_variants(m, k, n, seed));
+            for (v, (f, s)) in one.iter().zip(&two).enumerate() {
+                assert_bitwise(f, s, &format!("{width:?} rerun variant {v}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_every_width() {
+    // Empty, single-row, single-column and zero-k inputs, all widths: the
+    // exact shapes where a lane-tail off-by-one would read out of bounds.
+    for width in Width::all() {
+        for (m, k, n) in [
+            (0, 3, 3),
+            (3, 0, 3),
+            (3, 3, 0),
+            (1, 1, 1),
+            (1, 9, 8),
+            (8, 1, 4),
+            (5, 4, 1),
+            (0, 0, 0),
+        ] {
+            let scalar = all_variants(m, k, n, 7);
+            let fast = with_mode(Mode::Fast(width), || all_variants(m, k, n, 7));
+            for (v, (f, s)) in fast.iter().zip(&scalar).enumerate() {
+                assert_close(f, s, 64, 1e-4, &format!("{width:?} v{v} {m}x{k}x{n}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn large_reduction_stays_bounded() {
+    // k well past any tile: the accumulation-order difference (register
+    // tiles, gemm_nt reduction tree) must not drift with depth.
+    let (m, k, n) = (9, 301, 11);
+    let scalar = all_variants(m, k, n, 99);
+    for width in [Width::W4, Width::W8] {
+        let fast = with_mode(Mode::Fast(width), || all_variants(m, k, n, 99));
+        for (v, (f, s)) in fast.iter().zip(&scalar).enumerate() {
+            assert_close(f, s, 512, 1e-4, &format!("{width:?} deep variant {v}"));
+        }
+    }
+}

@@ -450,13 +450,18 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
                         dense: 0,
                     },
                     Span::AllReduce { .. } if in_epoch => Frame::AllReduce { bytes: 0 },
-                    Span::Spmm { rows, cols, nnz } => {
+                    // `width` is deliberately dropped: the scheduler
+                    // predicts op shapes, not kernel paths, so conformance
+                    // holds for scalar and fast kernels alike.
+                    Span::Spmm {
+                        rows, cols, nnz, ..
+                    } => {
                         if in_epoch {
                             out.push(SchedEvent::Spmm { rows, cols, nnz });
                         }
                         Frame::Other
                     }
-                    Span::Gemm { m, n, k } => {
+                    Span::Gemm { m, n, k, .. } => {
                         if in_epoch {
                             out.push(SchedEvent::Gemm { m, n, k });
                         }
@@ -806,6 +811,7 @@ mod tests {
                     rows: 10,
                     cols: 4,
                     nnz: 30,
+                    width: 8,
                 }),
             ),
             mk(7, EventData::End),

@@ -22,6 +22,7 @@ use rdm_core::infer::forward_logits;
 use rdm_core::ops::OpCounters;
 use rdm_core::plan::{best_plan_with, Plan};
 use rdm_core::WeightSnapshot;
+use rdm_dense::kernels::{self, Mode as KernelMode};
 use rdm_dense::mat::part_range;
 use rdm_dense::pool;
 use rdm_graph::dataset::Dataset;
@@ -68,6 +69,11 @@ pub struct ServeConfig {
     pub device: DeviceModel,
     /// Seed for the induced sampler's hash fill.
     pub sample_seed: u64,
+    /// Kernel path the session's GEMM/SpMM calls dispatch to. Scalar (the
+    /// default) keeps serving bitwise-identical to the scalar direct
+    /// forward; `Fast(w)` serves with the lane-unrolled microkernels and
+    /// stays bitwise-identical to a direct forward run at the same width.
+    pub kernels: KernelMode,
 }
 
 impl ServeConfig {
@@ -82,7 +88,26 @@ impl ServeConfig {
             trace: false,
             device: DeviceModel::a6000_pcie(),
             sample_seed: 0x5EED,
+            kernels: KernelMode::Scalar,
         }
+    }
+
+    /// Serve with the lane-unrolled fast microkernels at the widest
+    /// profitable width for this host.
+    pub fn fast_kernels(self) -> Self {
+        self.kernel_mode(KernelMode::Fast(kernels::detect_width()))
+    }
+
+    /// Force a specific kernel mode, swapping the simulated
+    /// [`DeviceModel`] to the calibration matching the kernel path so
+    /// virtual service times track the executed kernels.
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernels = mode;
+        self.device = match mode {
+            KernelMode::Scalar => DeviceModel::a6000_pcie(),
+            KernelMode::Fast(_) => DeviceModel::a6000_pcie_fast(),
+        };
+        self
     }
 }
 
@@ -229,6 +254,8 @@ pub fn serve(
     let cluster = if cfg.trace { cluster.traced() } else { cluster };
 
     let out = cluster.run(|ctx| {
+        // Rank threads are fresh per session: pin the kernel path first.
+        kernels::set_mode(cfg.kernels);
         let weights = snap.to_weights();
         let mut records: Vec<RankBatchRecord> = Vec::with_capacity(batches.len());
         let mut rows: Vec<(usize, Vec<f32>)> = Vec::new();

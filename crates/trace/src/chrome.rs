@@ -67,15 +67,22 @@ fn span_args(s: Span) -> Vec<(&'static str, String)> {
             ("chunks", chunks.to_string()),
             ("kind", format!("\"{}\"", kind.name())),
         ],
-        Span::Spmm { rows, cols, nnz } => vec![
+        Span::Spmm {
+            rows,
+            cols,
+            nnz,
+            width,
+        } => vec![
             ("rows", rows.to_string()),
             ("cols", cols.to_string()),
             ("nnz", nnz.to_string()),
+            ("width", width.to_string()),
         ],
-        Span::Gemm { m, n, k } => vec![
+        Span::Gemm { m, n, k, width } => vec![
             ("m", m.to_string()),
             ("n", n.to_string()),
             ("k", k.to_string()),
+            ("width", width.to_string()),
         ],
         Span::AllReduce { elems } => vec![("elems", elems.to_string())],
         Span::Batch { idx, size } => vec![("idx", idx.to_string()), ("size", size.to_string())],

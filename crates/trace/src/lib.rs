@@ -95,14 +95,22 @@ pub enum Span {
         chunks: usize,
         kind: TraceCollective,
     },
-    /// One distributed SpMM over the local adjacency panel.
+    /// One distributed SpMM over the local adjacency panel. `width` is
+    /// the kernel lane width the op ran at (1 = scalar reference path).
     Spmm {
         rows: usize,
         cols: usize,
         nnz: usize,
+        width: usize,
     },
-    /// One distributed GEMM (`m×k · k×n`).
-    Gemm { m: usize, n: usize, k: usize },
+    /// One distributed GEMM (`m×k · k×n`) at kernel lane width `width`
+    /// (1 = scalar reference path).
+    Gemm {
+        m: usize,
+        n: usize,
+        k: usize,
+        width: usize,
+    },
     /// One ring all-reduce over `elems` f32 elements.
     AllReduce { elems: usize },
     /// One served inference batch (`rdm-serve` loop body): `size` requests
@@ -362,6 +370,7 @@ mod tests {
                 rows: 4,
                 cols: 2,
                 nnz: 9,
+                width: 1,
             });
         }
         flush();

@@ -42,6 +42,7 @@ struct Args {
     budget: Option<usize>,
     seed: u64,
     sparse: bool,
+    fast_kernels: bool,
     chaos: Option<u64>,
     drop_rate: f64,
     trace: Option<String>,
@@ -70,6 +71,7 @@ impl Default for Args {
             budget: None,
             seed: 42,
             sparse: false,
+            fast_kernels: false,
             chaos: None,
             drop_rate: 0.05,
             trace: None,
@@ -111,6 +113,9 @@ SERVING:
   --seed <s>            load-generator seed; the whole report replays
                         byte-identically for a fixed seed [42]
   --sparse              ship redistributions in the sparsity-aware wire format
+  --fast-kernels        lane-unrolled SIMD microkernels for GEMM/SpMM; logits
+                        stay bitwise-equal to a direct forward at the same
+                        width, epsilon-close to the scalar reference path
   --trace <out.json>    write per-rank Chrome traces with per-batch and
                         per-request (Serve) spans
   --quiet               report only, no per-batch table
@@ -185,6 +190,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--sparse" => args.sparse = true,
+            "--fast-kernels" => args.fast_kernels = true,
             "--chaos" => args.chaos = Some(value("--chaos")?.parse().map_err(|e| format!("{e}"))?),
             "--drop-rate" => {
                 args.drop_rate = value("--drop-rate")?.parse().map_err(|e| format!("{e}"))?;
@@ -306,6 +312,9 @@ fn main() -> ExitCode {
     let mut cfg = ServeConfig::new(args.ranks);
     cfg.policy = BatchPolicy::new(args.max_batch, args.max_wait);
     cfg.sparse = args.sparse;
+    if args.fast_kernels {
+        cfg = cfg.fast_kernels();
+    }
     cfg.trace = args.trace.is_some();
     cfg.sample_seed = args.seed;
     if let Some(budget) = args.budget {
@@ -340,6 +349,13 @@ fn main() -> ExitCode {
         }
     }
     print!("{}", report.render());
+    if args.fast_kernels {
+        println!(
+            "kernels: fast path at lane width {} (bitwise vs direct forward \
+             at this width; epsilon-close to scalar)",
+            cfg.kernels.width(),
+        );
+    }
     if args.chaos.is_some() {
         println!(
             "chaos: {} retransmits; logits and payload book bit-identical to fault-free",

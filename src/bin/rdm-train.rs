@@ -35,6 +35,7 @@ struct Args {
     save_weights: Option<String>,
     overlap: Option<usize>,
     sparse: bool,
+    fast_kernels: bool,
     agg: String,
     chaos: Option<u64>,
     drop_rate: f64,
@@ -62,6 +63,7 @@ impl Default for Args {
             save_weights: None,
             overlap: None,
             sparse: false,
+            fast_kernels: false,
             agg: "gcn".into(),
             chaos: None,
             drop_rate: 0.05,
@@ -108,6 +110,10 @@ MODEL / TRAINING:
                         rows ride an indexed-strip wire format; results are
                         bit-identical to dense, actual vs dense-equivalent
                         volume is reported
+  --fast-kernels        lane-unrolled SIMD microkernels for GEMM/SpMM at the
+                        widest width this host profits from; deterministic
+                        run-to-run and across rank counts, but results are
+                        only epsilon-close to the scalar reference path
   --agg <kind>          aggregation matrix: gcn (symmetric D̃^-½(A+I)D̃^-½),
                         mean (D̃^-1(A+I)), row (self-loop-free D^-1 A;
                         isolated vertices stay zero — what --sparse
@@ -168,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
                 args.overlap = Some(c);
             }
             "--sparse" => args.sparse = true,
+            "--fast-kernels" => args.fast_kernels = true,
             "--agg" => {
                 let v = value("--agg")?;
                 if !["gcn", "mean", "row"].contains(&v.as_str()) {
@@ -341,6 +348,9 @@ fn main() -> ExitCode {
     if args.sparse {
         cfg = cfg.sparse();
     }
+    if args.fast_kernels {
+        cfg = cfg.fast_kernels();
+    }
     if let Some(chaos_seed) = args.chaos {
         cfg = cfg.faults(
             FaultPlan::new(chaos_seed)
@@ -418,6 +428,13 @@ fn main() -> ExitCode {
              ({saved:.1}% saved); results bit-identical to dense",
             actual as f64 / 1e6,
             dense as f64 / 1e6,
+        );
+    }
+    if args.fast_kernels {
+        println!(
+            "kernels: fast path at lane width {} (scalar reference path \
+             re-run is epsilon-close, not bitwise)",
+            cfg.kernels.width(),
         );
     }
     if let Some(path) = &args.save_weights {

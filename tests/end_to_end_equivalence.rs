@@ -3,7 +3,9 @@
 //! "all three implementations compute identical outputs, with small
 //! differences due to reordering of floating point operations".
 
+use gnn_rdm::comm::FaultPlan;
 use gnn_rdm::core::{best_plan, train_gcn, Plan, TrainerConfig};
+use gnn_rdm::dense::{KernelMode, KernelWidth};
 use gnn_rdm::graph::DatasetSpec;
 
 fn dataset() -> gnn_rdm::graph::Dataset {
@@ -136,6 +138,121 @@ fn steady_state_epochs_allocate_no_fresh_buffers() {
             "epoch {} never touched the workspace pool",
             e.epoch + 1
         );
+    }
+}
+
+#[test]
+fn fast_kernels_trajectory_stays_close_to_scalar() {
+    // The --fast-kernels axis: losses are epsilon-close to the scalar
+    // baseline (never bitwise-pinned — the microkernels reassociate), and
+    // the drift must not grow across epochs.
+    let ds = dataset();
+    let scalar = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).epochs(5));
+    for width in KernelWidth::all() {
+        let fast = losses(
+            &ds,
+            TrainerConfig::rdm_auto(4)
+                .hidden(8)
+                .epochs(5)
+                .kernel_mode(KernelMode::Fast(width)),
+        );
+        for (i, (a, b)) in scalar.iter().zip(&fast).enumerate() {
+            assert!(
+                (a - b).abs() < 2e-3,
+                "{width:?} epoch {i}: loss {a} vs {b} diverged from scalar"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_kernels_width1_is_bitwise_scalar() {
+    // Width 1 delegates to the scalar kernels, so the whole training
+    // trajectory — not just single ops — must be bit-identical.
+    let ds = dataset();
+    let scalar = losses(&ds, TrainerConfig::rdm_auto(4).hidden(8).epochs(4).seed(9));
+    let w1 = losses(
+        &ds,
+        TrainerConfig::rdm_auto(4)
+            .hidden(8)
+            .epochs(4)
+            .seed(9)
+            .kernel_mode(KernelMode::Fast(KernelWidth::W1)),
+    );
+    assert_eq!(
+        scalar.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        w1.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+    );
+}
+
+#[test]
+fn fast_kernels_deterministic_and_invariant_across_axes() {
+    // For a fixed lane width the fast path keeps every determinism
+    // contract the scalar path has: run-to-run, cluster size, ordering
+    // plan, overlap, sparse wire format and chaos must all leave the
+    // trajectory bit-identical.
+    let ds = dataset();
+    for width in KernelWidth::all() {
+        let base = TrainerConfig::rdm(4, Plan::from_id(5, 2, 4))
+            .hidden(8)
+            .epochs(3)
+            .kernel_mode(KernelMode::Fast(width));
+        let reference = losses(&ds, base.clone());
+        let rerun = losses(&ds, base.clone());
+        let bits = |l: &[f32]| l.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&reference), bits(&rerun), "{width:?}: run-to-run");
+        assert_eq!(
+            bits(&reference),
+            bits(&losses(&ds, base.clone().overlap(3))),
+            "{width:?}: overlap"
+        );
+        assert_eq!(
+            bits(&reference),
+            bits(&losses(&ds, base.clone().sparse())),
+            "{width:?}: sparse wire format"
+        );
+        assert_eq!(
+            bits(&reference),
+            bits(&losses(
+                &ds,
+                base.clone()
+                    .faults(FaultPlan::new(71).drop_rate(0.15).delay(0.2, 3))
+            )),
+            "{width:?}: chaos"
+        );
+        // Rank count and ordering plan genuinely re-partition reductions
+        // (ring all-reduce, tile sweeps), so — exactly as for the scalar
+        // path — those axes agree to tolerance, not bitwise; and each
+        // (P, plan, width) point is individually bit-deterministic.
+        for p in [1usize, 2] {
+            let cfg = TrainerConfig::rdm(p, Plan::from_id(5, 2, p))
+                .hidden(8)
+                .epochs(3)
+                .kernel_mode(KernelMode::Fast(width));
+            let other = losses(&ds, cfg.clone());
+            assert_eq!(bits(&other), bits(&losses(&ds, cfg)), "{width:?}: P={p}");
+            for (i, (a, b)) in reference.iter().zip(&other).enumerate() {
+                assert!(
+                    (a - b).abs() < 2e-3,
+                    "{width:?} P={p} epoch {i}: {a} vs {b}"
+                );
+            }
+        }
+        for id in [0usize, 10] {
+            let other = losses(
+                &ds,
+                TrainerConfig::rdm(4, Plan::from_id(id, 2, 4))
+                    .hidden(8)
+                    .epochs(3)
+                    .kernel_mode(KernelMode::Fast(width)),
+            );
+            for (i, (a, b)) in reference.iter().zip(&other).enumerate() {
+                assert!(
+                    (a - b).abs() < 2e-3,
+                    "{width:?} id={id} epoch {i}: {a} vs {b}"
+                );
+            }
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 //! communication volume and SpMM operation counts.
 
 use gnn_rdm::core::{train_gcn, Plan, TrainerConfig};
+use gnn_rdm::dense::{KernelMode, KernelWidth};
 use gnn_rdm::graph::DatasetSpec;
 use gnn_rdm::model::cost::config_cost;
 use gnn_rdm::model::GnnShape;
@@ -134,6 +135,72 @@ fn three_layer_spmm_ops_match_model() {
             "3-layer id={id} spmm ops"
         );
     }
+}
+
+/// FMA counters and wire bytes are a function of the computation graph,
+/// never of the kernel path: every forced lane width must reproduce the
+/// scalar path's counts exactly, epoch by epoch. This is what makes the
+/// fast device calibration sound — switching kernels may only change the
+/// *rates* the counts are priced at.
+#[test]
+fn op_counts_are_kernel_path_invariant() {
+    let ds = dataset(96, 800, 12, 5);
+    let cfg = |mode| {
+        TrainerConfig::rdm(4, Plan::from_id(5, 2, 4))
+            .hidden(16)
+            .epochs(2)
+            .kernel_mode(mode)
+    };
+    let reference = train_gcn(&ds, &cfg(KernelMode::Scalar)).unwrap();
+    for width in KernelWidth::all() {
+        let fast = train_gcn(&ds, &cfg(KernelMode::Fast(width))).unwrap();
+        for (e, (a, b)) in reference.epochs.iter().zip(&fast.epochs).enumerate() {
+            assert_eq!(a.ops.spmm_fma, b.ops.spmm_fma, "{width:?} epoch {e} spmm");
+            assert_eq!(a.ops.gemm_fma, b.ops.gemm_fma, "{width:?} epoch {e} gemm");
+            assert_eq!(
+                a.redistribution_bytes(),
+                b.redistribution_bytes(),
+                "{width:?} epoch {e} bytes"
+            );
+        }
+    }
+}
+
+/// The two device calibrations price identical op counts, so the
+/// simulated epoch speedup of `--fast-kernels` over scalar is pinned by
+/// the calibration constants alone: the compute ratio must sit between
+/// the measured SpMM and GEMM kernel speedups the fast rates encode, the
+/// comm ratio must not move at all, and the total must improve.
+#[test]
+fn fast_calibration_bounds_simulated_speedup() {
+    let ds = dataset(128, 1000, 16, 4);
+    let cfg = |mode| {
+        TrainerConfig::rdm(4, Plan::from_id(5, 2, 4))
+            .hidden(32)
+            .epochs(1)
+            .kernel_mode(mode)
+    };
+    let scalar = train_gcn(&ds, &cfg(KernelMode::Scalar)).unwrap().epochs[0].sim;
+    let fast = train_gcn(&ds, &cfg(KernelMode::Fast(KernelWidth::W8)))
+        .unwrap()
+        .epochs[0]
+        .sim;
+    let compute_ratio = scalar.compute_s / fast.compute_s;
+    assert!(
+        (1.7..=2.6).contains(&compute_ratio),
+        "simulated compute speedup {compute_ratio} drifted outside the \
+         [spmm, gemm] kernel-speedup envelope the calibration encodes"
+    );
+    assert!(
+        (scalar.comm_s - fast.comm_s).abs() <= 1e-12 * scalar.comm_s.max(1.0),
+        "kernel path must not change simulated comm time: {} vs {}",
+        scalar.comm_s,
+        fast.comm_s
+    );
+    assert!(
+        fast.total_s < scalar.total_s,
+        "fast calibration must predict a faster epoch"
+    );
 }
 
 /// The CAGNET baseline's broadcast volume must match the paper's §II

@@ -14,6 +14,7 @@ use gnn_rdm::core::infer::forward_logits;
 use gnn_rdm::core::ops::OpCounters;
 use gnn_rdm::core::{train_gcn, Plan, TrainerConfig, WeightSnapshot};
 use gnn_rdm::dense::mat::part_range;
+use gnn_rdm::dense::{kernels, KernelMode, KernelWidth};
 use gnn_rdm::graph::{Dataset, DatasetSpec};
 use gnn_rdm::serve::{
     planned_batches, planned_vertices, serve, LoadGen, ServeConfig, ServeSampler,
@@ -45,7 +46,22 @@ fn reference_logits(
     plan: &Plan,
     sparse: bool,
 ) -> Vec<Vec<f32>> {
+    reference_logits_mode(sub, snap, p, plan, sparse, KernelMode::Scalar)
+}
+
+/// Like [`reference_logits`] but with the ranks' kernel path pinned, so
+/// the fast-kernels serving axis can diff against a direct forward run
+/// at the *same* lane width.
+fn reference_logits_mode(
+    sub: &Dataset,
+    snap: &WeightSnapshot,
+    p: usize,
+    plan: &Plan,
+    sparse: bool,
+    mode: KernelMode,
+) -> Vec<Vec<f32>> {
     let out = Cluster::new(p).run(|ctx| {
+        kernels::set_mode(mode);
         let weights = snap.to_weights();
         let mut ops = OpCounters::default();
         let logits = forward_logits(
@@ -173,6 +189,113 @@ fn chaos_leaves_logits_payload_book_and_timeline_unchanged() {
             assert_eq!(clean.report.batches, chaotic.report.batches, "{label}");
             assert_eq!(clean.report.p50_us(), chaotic.report.p50_us(), "{label}");
             assert_eq!(clean.report.p99_us(), chaotic.report.p99_us(), "{label}");
+        }
+    }
+}
+
+#[test]
+fn fast_kernel_serving_matches_direct_forward_at_same_width() {
+    // The serving invariant survives the kernel axis: for every forced
+    // lane width, batched serving is bitwise identical to a direct engine
+    // forward run at that same width — and width 1 is additionally
+    // bitwise against the scalar reference.
+    let ds = dataset();
+    let snap = snapshot();
+    let requests = LoadGen::new(6, 3, 40, 24).generate(ds.n());
+    for width in KernelWidth::all() {
+        for (p, sparse) in [(1usize, false), (2, false), (2, true), (4, true)] {
+            let plan = Plan::from_id(5, 2, p);
+            let mut cfg = ServeConfig::new(p);
+            cfg.plan = Some(plan.clone());
+            cfg.sparse = sparse;
+            cfg.kernels = KernelMode::Fast(width);
+            let out = serve(&ds, &snap, &requests, &cfg).unwrap();
+            let reference =
+                reference_logits_mode(&ds, &snap, p, &plan, sparse, KernelMode::Fast(width));
+            for r in &out.report.requests {
+                assert_rows_bitwise(
+                    &r.logits,
+                    &reference[r.target as usize],
+                    &format!("{width:?} P={p} sparse={sparse} request {}", r.idx),
+                );
+            }
+            if width == KernelWidth::W1 {
+                let scalar = reference_logits(&ds, &snap, p, &plan, sparse);
+                for r in &out.report.requests {
+                    assert_rows_bitwise(
+                        &r.logits,
+                        &scalar[r.target as usize],
+                        &format!("W1-vs-scalar P={p} request {}", r.idx),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_kernel_serving_is_chaos_invariant_and_replays() {
+    // Chaos and replay determinism hold per width: faults never perturb
+    // fast-kernel logits, and the whole report is byte-stable.
+    let ds = dataset();
+    let snap = snapshot();
+    let requests = LoadGen::new(31, 3, 30, 32).generate(ds.n());
+    for width in KernelWidth::all() {
+        let mut cfg = ServeConfig::new(2);
+        cfg.plan = Some(Plan::from_id(5, 2, 2));
+        cfg.sparse = true;
+        cfg.kernels = KernelMode::Fast(width);
+        let clean = serve(&ds, &snap, &requests, &cfg).unwrap();
+        let replay = serve(&ds, &snap, &requests, &cfg).unwrap();
+        assert_eq!(clean.report, replay.report, "{width:?}: replay drifted");
+        let mut chaotic_cfg = cfg.clone();
+        chaotic_cfg.faults = Some(
+            FaultPlan::new(chaos_base().wrapping_add(width.lanes() as u64))
+                .drop_rate(0.2)
+                .delay(0.3, 4),
+        );
+        let chaotic = serve(&ds, &snap, &requests, &chaotic_cfg).unwrap();
+        assert!(
+            chaotic.report.retries > 0,
+            "{width:?}: chaos injected nothing"
+        );
+        for (c, f) in clean.report.requests.iter().zip(&chaotic.report.requests) {
+            assert_rows_bitwise(
+                &c.logits,
+                &f.logits,
+                &format!("{width:?} chaos request {}", c.idx),
+            );
+        }
+        assert_eq!(clean.report.payload_bytes, chaotic.report.payload_bytes);
+        assert_eq!(clean.report.p99_us(), chaotic.report.p99_us());
+    }
+}
+
+#[test]
+fn fast_kernel_logits_stay_close_to_scalar() {
+    // Across widths, the served logits drift from the scalar path only
+    // within the kernel epsilon envelope (2 layers of reassociated
+    // reductions over ≤ 120 vertices).
+    let ds = dataset();
+    let snap = snapshot();
+    let requests = LoadGen::new(12, 2, 40, 16).generate(ds.n());
+    let plan = Plan::from_id(5, 2, 2);
+    let mut cfg = ServeConfig::new(2);
+    cfg.plan = Some(plan.clone());
+    let scalar = serve(&ds, &snap, &requests, &cfg).unwrap();
+    for width in [KernelWidth::W4, KernelWidth::W8] {
+        let mut fast_cfg = cfg.clone();
+        fast_cfg.kernels = KernelMode::Fast(width);
+        let fast = serve(&ds, &snap, &requests, &fast_cfg).unwrap();
+        for (a, b) in scalar.report.requests.iter().zip(&fast.report.requests) {
+            assert_eq!(a.idx, b.idx);
+            for (x, y) in a.logits.iter().zip(&b.logits) {
+                assert!(
+                    (x - y).abs() <= 1e-4 * 1.0f32.max(x.abs()),
+                    "{width:?} request {}: {x} vs {y}",
+                    a.idx
+                );
+            }
         }
     }
 }

@@ -114,11 +114,18 @@ fn corrupting_one_event_fails_with_rank_and_index_specific_diff() {
         .iter_mut()
         .find(|e| matches!(e.data, EventData::Begin(Span::Spmm { .. })))
         .expect("rank 1 ran an SpMM");
-    if let EventData::Begin(Span::Spmm { rows, cols, nnz }) = victim.data {
+    if let EventData::Begin(Span::Spmm {
+        rows,
+        cols,
+        nnz,
+        width,
+    }) = victim.data
+    {
         victim.data = EventData::Begin(Span::Spmm {
             rows,
             cols: cols + 1,
             nnz,
+            width,
         });
     }
     let violations = conformance::check_run(&traces, &shape, &config, true).unwrap();
