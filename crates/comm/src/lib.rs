@@ -37,7 +37,7 @@ pub mod mailbox;
 pub mod stats;
 pub mod strip;
 
-pub use cluster::{Cluster, PendingRecv, RankCtx};
+pub use cluster::{Cluster, PendingRecv, RankCtx, RunOutput};
 pub use collectives::{ChunkAxis, ChunkedAllToAll};
 pub use fault::{FaultPlan, Resolution};
 pub use stats::{CollectiveKind, CommStats};

@@ -1,0 +1,179 @@
+//! The frozen-weight layer-0 aggregation cache (serving only).
+//!
+//! Under serving, weights are frozen and the full-graph layer-1
+//! intermediate `T = Â·H⁰` is a pure function of the graph — identical
+//! for every batch. A rank therefore caches the full-width rows of `T`
+//! it owns (row slices, `part_range(n, p, rank)`) for the hottest
+//! request targets, keyed by global vertex id:
+//!
+//! * every rank skips the cached rows of its column-slice SpMM (the
+//!   output row is never read — the owner fills it from cache);
+//! * every rank omits the cached rows from the redistribution pieces it
+//!   ships *to the owner* (the intra-layer Col→Row exchange shrinks);
+//! * the owner splices the cached full-width rows back into its row
+//!   slice before the layer-1 GEMM.
+//!
+//! Rows enter the cache *after* the batch that missed them (their freshly
+//! exchanged values are copied out), so a cached row is bitwise identical
+//! to recomputation and the engine's logits never drift. Admission and
+//! eviction are driven by [`rdm_model::CacheSim`] — the same directory
+//! simulation the conformance predictor replays — so the executor and
+//! the model cannot disagree about what is cached when.
+//!
+//! Slot storage is a single `Vec<f32>` preallocated at construction
+//! (`capacity × width` elements), deliberately outside the
+//! [`rdm_dense::pool`] workspace pool: cache fills are warmup work, and
+//! keeping them off the pool preserves the zero-fresh-allocation
+//! steady-state guarantee that `rdm-serve` enforces by exit code.
+
+use rdm_model::{AdmitOutcome, CacheSim};
+
+const NO_SLOT: usize = usize::MAX;
+
+/// Per-rank executor state of the aggregation cache: the shared directory
+/// simulation plus this rank's row storage.
+pub struct AggCache {
+    sim: CacheSim,
+    me: usize,
+    width: usize,
+    /// Global row index of this rank's first owned row.
+    row0: usize,
+    /// `capacity × width` row slots for this rank's cached vertices.
+    slots: Vec<f32>,
+    /// Per owned vertex (global id − `row0`): its slot index or `NO_SLOT`.
+    slot_of: Vec<usize>,
+    free: Vec<usize>,
+}
+
+impl AggCache {
+    /// A cache for a `p`-rank serving session over `n` vertices with
+    /// per-rank `capacity` rows of `width` floats. Every rank runs the
+    /// same deterministic directory; only the slot storage is local.
+    pub fn new(n: usize, p: usize, me: usize, capacity: usize, width: usize) -> Self {
+        assert!(me < p, "rank {me} outside cluster of {p}");
+        let my_rows = rdm_dense::part_range(n, p, me);
+        AggCache {
+            sim: CacheSim::new(n, p, capacity),
+            me,
+            width,
+            row0: my_rows.start,
+            slots: vec![0.0; capacity * width],
+            slot_of: vec![NO_SLOT; my_rows.len()],
+            free: (0..capacity).rev().collect(),
+        }
+    }
+
+    /// The shared directory (batch-open state between admissions).
+    pub fn sim(&self) -> &CacheSim {
+        &self.sim
+    }
+
+    /// Per-vertex cached flags, indexed by global vertex id.
+    pub fn mask(&self) -> &[bool] {
+        self.sim.mask()
+    }
+
+    /// Number of cached vertices across all ranks (the per-batch `skipped`
+    /// row count of every rank's column-slice SpMM).
+    pub fn cached_total(&self) -> usize {
+        self.sim.cached_total()
+    }
+
+    /// Row width in floats.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The cached full-width row of vertex `v`, which must be cached and
+    /// owned by this rank.
+    ///
+    /// # Panics
+    /// If `v` is not cached here.
+    pub fn row(&self, v: u32) -> &[f32] {
+        assert_eq!(self.sim.owner(v), self.me, "vertex {v} not owned here");
+        let slot = self.slot_of[v as usize - self.row0];
+        assert_ne!(slot, NO_SLOT, "vertex {v} not cached");
+        &self.slots[slot * self.width..(slot + 1) * self.width]
+    }
+
+    /// Admit a served batch's request targets *after* its forward pass:
+    /// classify hits/misses against the batch-open directory, then replay
+    /// the directory's fill steps against this rank's slots, copying newly
+    /// admitted rows out of `rows` — this rank's freshly assembled
+    /// `rows × width` slice of `T = Â·H⁰` (global row `row0 + i` at local
+    /// row `i`).
+    pub fn admit(&mut self, targets: &[u32], rows: &rdm_dense::Mat) -> AdmitOutcome {
+        assert_eq!(rows.cols(), self.width, "cache width mismatch");
+        assert_eq!(rows.rows(), self.slot_of.len(), "row-slice height mismatch");
+        let out = self.sim.admit(targets);
+        for &(evicted, inserted) in &out.steps {
+            if let Some(e) = evicted {
+                if self.sim.owner(e) == self.me {
+                    let local = e as usize - self.row0;
+                    self.free.push(self.slot_of[local]);
+                    self.slot_of[local] = NO_SLOT;
+                }
+            }
+            if self.sim.owner(inserted) == self.me {
+                let local = inserted as usize - self.row0;
+                let slot = self.free.pop().expect("directory bounds slots");
+                self.slots[slot * self.width..(slot + 1) * self.width]
+                    .copy_from_slice(rows.row(local));
+                self.slot_of[local] = slot;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdm_dense::Mat;
+
+    fn rows_for(n: usize, p: usize, me: usize, width: usize) -> Mat {
+        let r = rdm_dense::part_range(n, p, me);
+        Mat::from_fn(r.len(), width, |i, j| ((r.start + i) * 100 + j) as f32)
+    }
+
+    #[test]
+    fn admitted_rows_read_back_bitwise() {
+        let (n, p, width) = (10, 2, 3);
+        let mut c = AggCache::new(n, p, 0, 2, width);
+        let rows = rows_for(n, p, 0, width);
+        let out = c.admit(&[1, 4, 1], &rows);
+        assert_eq!((out.hits, out.misses), (0, 3));
+        assert_eq!(c.row(1), rows.row(1));
+        assert_eq!(c.row(4), rows.row(4));
+        // Second batch: both hit, directory unchanged.
+        let out = c.admit(&[4, 1], &rows);
+        assert_eq!((out.hits, out.misses), (2, 0));
+        assert!(!out.changed());
+    }
+
+    #[test]
+    fn eviction_recycles_slots_in_place() {
+        let (n, p, width) = (8, 1, 2);
+        let mut c = AggCache::new(n, p, 0, 2, width);
+        let rows = rows_for(n, p, 0, width);
+        c.admit(&[0, 1], &rows);
+        // 0 is the FIFO head; admitting 5 evicts it and reuses its slot.
+        let out = c.admit(&[5], &rows);
+        assert!(out.changed());
+        assert_eq!(c.row(5), rows.row(5));
+        assert_eq!(c.row(1), rows.row(1));
+        assert_eq!(c.cached_total(), 2);
+    }
+
+    #[test]
+    fn non_owned_vertices_never_take_local_slots() {
+        let (n, p, width) = (10, 2, 4);
+        // Rank 1 owns 5..10; targets 0..5 belong to rank 0.
+        let mut c = AggCache::new(n, p, 1, 3, width);
+        let rows = rows_for(n, p, 1, width);
+        let out = c.admit(&[0, 2, 7], &rows);
+        assert_eq!(out.misses, 3);
+        assert_eq!(c.row(7), rows.row(7 - 5));
+        assert_eq!(c.free.len(), 2, "only the owned vertex consumed a slot");
+    }
+}

@@ -20,13 +20,14 @@
 //! * ReLU-mask alignment in configurations where the gradient and the
 //!   saved activation exist only in opposite layouts (tagged `Other`).
 
+use crate::aggcache::AggCache;
 use crate::dist::{Dist, DistMat, FormCache};
 use crate::ops::{dist_gemm, dist_gemm_nt, weight_grad, OpCounters, Topology};
 use crate::plan::Plan;
-use rdm_comm::{CollectiveKind, RankCtx};
+use rdm_comm::{ChunkAxis, CollectiveKind, RankCtx};
 use rdm_dense::{gemm, gemm_nt, hstack, part_range, relu, relu_backward, vstack, Mat};
-use rdm_model::{DeviceModel, Order};
-use rdm_trace::Span;
+use rdm_model::{AdmitOutcome, DeviceModel, Order};
+use rdm_trace::{Form, Span};
 
 /// Settings of the pipelined (overlapped) execution path, threaded through
 /// [`rdm_forward_with`] / [`rdm_backward_with`].
@@ -390,34 +391,222 @@ pub fn rdm_forward_with(
     h.push(input);
     let mut t_fwd: Vec<Option<FormCache>> = (0..layers).map(|_| None).collect();
     for l in 1..=layers {
-        let w = &weights.w[l - 1];
-        let is_last = l == layers;
-        let out = match plan.config.forward[l - 1] {
-            Order::SpmmFirst => {
-                // T = Â·H^{l-1} (needs the tile layout), then Z = T·W
-                // (needs row slices): one intra-layer redistribution of
-                // width f_{l-1}. Under `overlap` each redistribution is
-                // chunk-pipelined into its kernel.
-                let t = spmm_via_col(ctx, topo, &mut h[l - 1], false, overlap, ops);
-                let mut tc = FormCache::of_col(t);
-                let z = gemm_via_row(ctx, topo, &mut tc, w, false, overlap, ops);
-                if plan.memoize {
-                    t_fwd[l - 1] = Some(tc);
-                }
-                FormCache::of_row(activate(z, !is_last))
-            }
-            Order::GemmFirst => {
-                // T = H^{l-1}·W (row slices), then Z = Â·T (tile layout):
-                // one redistribution of width f_l.
-                let t = gemm_via_row(ctx, topo, &mut h[l - 1], w, false, overlap, ops);
-                let mut ttc = FormCache::of_row(t);
-                let z = spmm_via_col(ctx, topo, &mut ttc, false, overlap, ops);
-                FormCache::of_col(activate(z, !is_last))
-            }
-        };
+        let (out, tf) = forward_layer(
+            ctx,
+            topo,
+            &mut h[l - 1],
+            &weights.w[l - 1],
+            plan.config.forward[l - 1],
+            plan.memoize,
+            l == layers,
+            overlap,
+            ops,
+        );
         h.push(out);
+        t_fwd[l - 1] = tf;
     }
     ForwardArtifacts { h, t_fwd }
+}
+
+/// One forward layer under either ordering: the loop body of
+/// [`rdm_forward_with`], shared with the cached serving forward (which
+/// replaces only layer 1).
+#[allow(clippy::too_many_arguments)]
+fn forward_layer(
+    ctx: &RankCtx,
+    topo: &Topology,
+    h_prev: &mut FormCache,
+    w: &Mat,
+    order: Order,
+    memoize: bool,
+    is_last: bool,
+    overlap: Option<&OverlapSpec>,
+    ops: &mut OpCounters,
+) -> (FormCache, Option<FormCache>) {
+    match order {
+        Order::SpmmFirst => {
+            // T = Â·H^{l-1} (needs the tile layout), then Z = T·W
+            // (needs row slices): one intra-layer redistribution of
+            // width f_{l-1}. Under `overlap` each redistribution is
+            // chunk-pipelined into its kernel.
+            let t = spmm_via_col(ctx, topo, h_prev, false, overlap, ops);
+            let mut tc = FormCache::of_col(t);
+            let z = gemm_via_row(ctx, topo, &mut tc, w, false, overlap, ops);
+            (
+                FormCache::of_row(activate(z, !is_last)),
+                memoize.then_some(tc),
+            )
+        }
+        Order::GemmFirst => {
+            // T = H^{l-1}·W (row slices), then Z = Â·T (tile layout):
+            // one redistribution of width f_l.
+            let t = gemm_via_row(ctx, topo, h_prev, w, false, overlap, ops);
+            let mut ttc = FormCache::of_row(t);
+            let z = spmm_via_col(ctx, topo, &mut ttc, false, overlap, ops);
+            (FormCache::of_col(activate(z, !is_last)), None)
+        }
+    }
+}
+
+/// Layer-1 `T = Â·H⁰` under the frozen-weight aggregation cache: skip the
+/// cached rows of the SpMM, ship only uncached rows in the intra-layer
+/// Col→Row exchange, and splice the owners' cached full-width rows back
+/// into the assembled row slice. Bitwise identical to the uncached layer
+/// (cached rows were copied out of an identical exchange when admitted);
+/// only the `Redistribute` payload shrinks. The kernel span keeps the
+/// full panel shape and the exchange stays a single `Col→Row` frame, so
+/// the traced schedule differs from the uncached one *only* in exchange
+/// bytes — exactly what `rdm-model`'s serving predictor prices.
+fn spmm_layer1_cached(
+    ctx: &RankCtx,
+    topo: &Topology,
+    input: &mut FormCache,
+    cache: &AggCache,
+    ops: &mut OpCounters,
+) -> DistMat {
+    assert_eq!(
+        topo.grid.r_a,
+        ctx.size(),
+        "the aggregation cache needs full adjacency replication"
+    );
+    assert!(
+        topo.mask.is_none(),
+        "the aggregation cache cannot run under an edge mask"
+    );
+    let tile = input
+        .require_col(topo, ctx, CollectiveKind::Redistribute)
+        .clone();
+    let (n, p, me) = (topo.n, ctx.size(), ctx.rank());
+    let f = tile.cols;
+    let mask = cache.mask();
+    // Aggregate only the uncached rows. The span keeps the blocking
+    // path's full shape: the schedule is cache-independent, the work is
+    // not.
+    let t_local = {
+        let _span = rdm_trace::span(Span::Spmm {
+            rows: topo.panel.rows(),
+            cols: tile.local.cols(),
+            nnz: topo.panel.nnz(),
+            width: rdm_dense::kernels::active_width(),
+        });
+        rdm_sparse::spmm_skip(&topo.panel, &tile.local, mask)
+    };
+    let indptr = topo.panel.indptr();
+    let live_nnz: usize = (0..n)
+        .filter(|&r| !mask[r])
+        .map(|r| indptr[r + 1] - indptr[r])
+        .sum();
+    ops.spmm_fma += live_nnz as f64 * tile.local.cols() as f64;
+    // Col→Row exchange thinned to the uncached rows of every
+    // destination's slice (the blocking `redistribute_v_to_h` with the
+    // cached rows cut out of each piece — including this rank's own, so
+    // the sparse wire path sees matching piece heights).
+    let parts: Vec<Mat> = (0..p)
+        .map(|j| {
+            let rj = part_range(n, p, j);
+            let live: Vec<usize> = rj.filter(|&r| !mask[r]).collect();
+            let mut piece = Mat::zeros(live.len(), tile.local.cols());
+            for (i, &r) in live.iter().enumerate() {
+                piece.row_mut(i).copy_from_slice(t_local.row(r));
+            }
+            piece
+        })
+        .collect();
+    let received = {
+        let _span = rdm_trace::span(Span::Redistribute {
+            from: Form::Col,
+            to: Form::Row,
+            chunks: 1,
+            kind: CollectiveKind::Redistribute.trace_tag(),
+        });
+        if topo.sparse {
+            ctx.all_to_all_sparse(parts, ChunkAxis::Rows, CollectiveKind::Redistribute)
+        } else {
+            ctx.all_to_all(parts, CollectiveKind::Redistribute)
+        }
+    };
+    // Assemble this rank's full-width row slice: cached rows from the
+    // cache, live rows from the received column pieces in order.
+    let my_rows = part_range(n, p, me);
+    let mut out = Mat::zeros(my_rows.len(), f);
+    let mut cursor = 0usize;
+    for r in my_rows.clone() {
+        let i = r - my_rows.start;
+        if mask[r] {
+            out.row_mut(i).copy_from_slice(cache.row(r as u32));
+        } else {
+            for (j, piece) in received.iter().enumerate() {
+                let cj = part_range(f, p, j);
+                out.row_mut(i)[cj].copy_from_slice(piece.row(cursor));
+            }
+            cursor += 1;
+        }
+    }
+    DistMat::from_row_slice(out, n)
+}
+
+/// [`rdm_forward_with`] under the serving aggregation cache: layer 1 runs
+/// the cached SpMM and thinned exchange (`spmm_layer1_cached`) and then
+/// admits the batch's request `targets` (copying freshly exchanged rows
+/// into the cache — fills happen *after* the batch that missed, so cached
+/// rows are bitwise recomputation). Layers 2+ run the shared layer body,
+/// pipelined under `overlap` as usual; layer 1 itself stays blocking (its
+/// exchange is the one the cache thins).
+///
+/// # Panics
+/// If the first layer is not SpMM-first (the cache stores the layer-1
+/// SpMM intermediate; callers gate `GemmFirst` plans off), or the
+/// topology is not fully replicated/unmasked.
+#[allow(clippy::too_many_arguments)]
+pub fn rdm_forward_cached(
+    ctx: &RankCtx,
+    topo: &Topology,
+    input: FormCache,
+    weights: &GcnWeights,
+    plan: &Plan,
+    overlap: Option<&OverlapSpec>,
+    cache: &mut AggCache,
+    targets: &[u32],
+    ops: &mut OpCounters,
+) -> (ForwardArtifacts, AdmitOutcome) {
+    let layers = plan.config.layers();
+    assert_eq!(weights.layers(), layers, "weight/plan layer mismatch");
+    assert_eq!(
+        plan.r_a, topo.grid.r_a,
+        "plan replication factor does not match the topology"
+    );
+    assert_eq!(
+        plan.config.forward[0],
+        Order::SpmmFirst,
+        "the aggregation cache stores the SpMM-first layer-1 intermediate"
+    );
+    let mut h: Vec<FormCache> = Vec::with_capacity(layers + 1);
+    h.push(input);
+    let mut t_fwd: Vec<Option<FormCache>> = (0..layers).map(|_| None).collect();
+    let t_row = spmm_layer1_cached(ctx, topo, &mut h[0], cache, ops);
+    let outcome = cache.admit(targets, &t_row.local);
+    let mut tc = FormCache::of_row(t_row);
+    let z = gemm_via_row(ctx, topo, &mut tc, &weights.w[0], false, None, ops);
+    if plan.memoize {
+        t_fwd[0] = Some(tc);
+    }
+    h.push(FormCache::of_row(activate(z, layers != 1)));
+    for l in 2..=layers {
+        let (out, tf) = forward_layer(
+            ctx,
+            topo,
+            &mut h[l - 1],
+            &weights.w[l - 1],
+            plan.config.forward[l - 1],
+            plan.memoize,
+            l == layers,
+            overlap,
+            ops,
+        );
+        h.push(out);
+        t_fwd[l - 1] = tf;
+    }
+    (ForwardArtifacts { h, t_fwd }, outcome)
 }
 
 /// Gradients produced by the backward pass.

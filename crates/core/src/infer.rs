@@ -1,18 +1,20 @@
 //! Forward-only inference: the serving-path entry into the RDM engine.
 //!
 //! Training and serving share one forward implementation
-//! ([`rdm_forward_with`](crate::gcn::rdm_forward_with)); this module wraps
+//! ([`crate::gcn::rdm_forward_with`]); this module wraps
 //! it for the online case — no loss, no backward, no optimizer — so
 //! `rdm-serve` and the equivalence harness run *exactly* the code path a
 //! training epoch's forward half runs. That shared implementation is what
 //! makes the serving outputs bitwise identical to a direct engine pass.
 
+use crate::aggcache::AggCache;
 use crate::dist::DistMat;
-use crate::gcn::{input_cache, rdm_forward, GcnWeights};
+use crate::gcn::{input_cache, rdm_forward_cached, rdm_forward_with, GcnWeights, OverlapSpec};
 use crate::ops::{OpCounters, Topology};
 use crate::plan::Plan;
 use rdm_comm::RankCtx;
 use rdm_dense::Mat;
+use rdm_model::AdmitOutcome;
 use rdm_sparse::Csr;
 
 /// One forward-only pass over a (sub)graph: aggregate `adj_norm`, apply
@@ -32,6 +34,30 @@ pub fn forward_logits(
     sparse: bool,
     ops: &mut OpCounters,
 ) -> DistMat {
+    forward_logits_with(
+        ctx, adj_norm, features, weights, plan, sparse, None, None, ops,
+    )
+    .0
+}
+
+/// [`forward_logits`] with the serving depth knobs: an optional
+/// [`OverlapSpec`] pipelining every redistribution into its kernel, and an
+/// optional aggregation cache plus this batch's request targets. With the
+/// cache supplied, layer 1 runs the thinned cached exchange and the batch
+/// is admitted afterwards; the returned [`AdmitOutcome`] carries its
+/// hit/miss accounting. Both knobs preserve bitwise-identical logits.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_logits_with(
+    ctx: &RankCtx,
+    adj_norm: &Csr,
+    features: &Mat,
+    weights: &GcnWeights,
+    plan: &Plan,
+    sparse: bool,
+    overlap: Option<&OverlapSpec>,
+    cache: Option<(&mut AggCache, &[u32])>,
+    ops: &mut OpCounters,
+) -> (DistMat, Option<AdmitOutcome>) {
     assert_eq!(
         plan.r_a,
         ctx.size(),
@@ -40,8 +66,18 @@ pub fn forward_logits(
     let mut topo = Topology::full(adj_norm, ctx);
     topo.set_sparse(sparse);
     let input = input_cache(features, &topo, ctx);
-    let mut art = rdm_forward(ctx, &topo, input, weights, plan, ops);
-    art.logits_row(&topo, ctx)
+    let (mut art, outcome) = match cache {
+        Some((c, targets)) => {
+            let (art, o) =
+                rdm_forward_cached(ctx, &topo, input, weights, plan, overlap, c, targets, ops);
+            (art, Some(o))
+        }
+        None => (
+            rdm_forward_with(ctx, &topo, input, weights, plan, overlap, ops),
+            None,
+        ),
+    };
+    (art.logits_row(&topo, ctx), outcome)
 }
 
 #[cfg(test)]
@@ -69,6 +105,77 @@ mod tests {
         for got in &out.results {
             assert!(allclose(got, &expect, 1e-4));
         }
+    }
+
+    /// The cached forward must produce bitwise-identical logits while
+    /// shrinking the redistribution payload once repeats start hitting.
+    #[test]
+    fn cached_forward_is_bitwise_and_thins_the_exchange() {
+        let ds = toy(54, 7);
+        let weights = GcnWeights::init(&[16, 8, 4], 9);
+        let p = 3;
+        let batches: Vec<Vec<u32>> = vec![vec![3, 17, 40], vec![3, 17, 8], vec![3, 17, 40, 8]];
+        let run = |cache_rows: usize| {
+            let (adj, feats, w) = (ds.adj_norm.clone(), ds.features.clone(), weights.clone());
+            let b2 = batches.clone();
+            Cluster::new(p).run(move |ctx| {
+                // Plan id 5 runs layer 1 SpMM-first — the cacheable shape.
+                let plan = Plan::from_id(5, 2, ctx.size());
+                let mut ops = OpCounters::default();
+                let mut cache = crate::aggcache::AggCache::new(
+                    adj.rows(),
+                    ctx.size(),
+                    ctx.rank(),
+                    cache_rows,
+                    16,
+                );
+                let mut outs = Vec::new();
+                let mut hits = 0u64;
+                for t in &b2 {
+                    let (logits, o) = if cache_rows > 0 {
+                        forward_logits_with(
+                            ctx,
+                            &adj,
+                            &feats,
+                            &w,
+                            &plan,
+                            false,
+                            None,
+                            Some((&mut cache, t)),
+                            &mut ops,
+                        )
+                    } else {
+                        (
+                            forward_logits(ctx, &adj, &feats, &w, &plan, false, &mut ops),
+                            None,
+                        )
+                    };
+                    hits += o.map_or(0, |o| o.hits);
+                    outs.push(logits.gather(ctx, CollectiveKind::Other));
+                }
+                (outs, hits)
+            })
+        };
+        let base = run(0);
+        let cached = run(4);
+        for (b, c) in base.results.iter().zip(&cached.results) {
+            for (lb, lc) in b.0.iter().zip(&c.0) {
+                assert_eq!(lb.as_slice(), lc.as_slice(), "cached logits drifted");
+            }
+            assert!(c.1 > 0, "repeated targets must hit");
+        }
+        let bytes = |out: &rdm_comm::RunOutput<(Vec<Mat>, u64)>| -> u64 {
+            out.stats
+                .iter()
+                .map(|s| s.bytes(CollectiveKind::Redistribute))
+                .sum()
+        };
+        assert!(
+            bytes(&cached) < bytes(&base),
+            "cache hits must thin the exchange: {} !< {}",
+            bytes(&cached),
+            bytes(&base)
+        );
     }
 
     #[test]

@@ -22,8 +22,11 @@
 //!   [`train_gcn`] entry point.
 //! * [`snapshot`] / [`infer`] — byte-exact trained-weight export/import
 //!   and the forward-only entry point the serving path runs on.
+//! * [`aggcache`] — the frozen-weight layer-0 aggregation cache the
+//!   serving engine layers on top of the forward pass.
 
 pub mod adam;
+pub mod aggcache;
 pub mod cagnet;
 pub mod dgcl;
 pub mod dist;
@@ -37,6 +40,7 @@ pub mod saint;
 pub mod snapshot;
 pub mod trainer;
 
+pub use aggcache::AggCache;
 pub use dist::{Dist, DistMat, RedistError};
 pub use gcn::OverlapSpec;
 pub use metrics::{EpochMetrics, TrainReport};

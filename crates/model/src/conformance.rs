@@ -31,7 +31,7 @@ use std::fmt;
 /// Length of rank `r`'s slice of `n` items over `p` ranks — the exact
 /// balanced partition the runtime uses (`rdm_dense::part_range`, inlined
 /// here so the model crate stays dependency-free of the dense kernels).
-fn part_len(n: usize, p: usize, r: usize) -> usize {
+pub(crate) fn part_len(n: usize, p: usize, r: usize) -> usize {
     let base = n / p;
     let extra = n % p;
     base + usize::from(r < extra)
@@ -120,7 +120,7 @@ impl fmt::Display for Violation {
 /// Symbolic mirror of the engine's `FormCache`: which layouts of one
 /// logical tensor exist, without the data.
 #[derive(Clone, Copy, Debug)]
-struct SymCache {
+pub(crate) struct SymCache {
     has_row: bool,
     has_col: bool,
 }
@@ -148,11 +148,29 @@ impl SymCache {
 
 /// The symbolic engine: replays the GCN engine's control flow, emitting
 /// [`SchedEvent`]s instead of computing.
-struct Predictor<'a> {
+pub(crate) struct Predictor<'a> {
     shape: &'a GnnShape,
     p: usize,
     rank: usize,
     events: Vec<SchedEvent>,
+}
+
+impl<'a> Predictor<'a> {
+    /// A fresh symbolic engine for rank `rank` of `p` on `shape`.
+    pub(crate) fn new(shape: &'a GnnShape, p: usize, rank: usize) -> Self {
+        assert!(rank < p, "rank {rank} out of range for P={p}");
+        Predictor {
+            shape,
+            p,
+            rank,
+            events: Vec::new(),
+        }
+    }
+
+    /// Consume the engine, yielding the events it emitted.
+    pub(crate) fn into_events(self) -> Vec<SchedEvent> {
+        self.events
+    }
 }
 
 impl Predictor<'_> {
@@ -277,35 +295,29 @@ impl Predictor<'_> {
     }
 }
 
-/// Predict the schedule-level event sequence rank `rank` of `p` produces
-/// during one training epoch of `config` on `shape` (full replication,
-/// no edge mask). Every epoch of a fixed-plan run produces this same
-/// sequence: the engine rebuilds its layout caches from the (dual-form)
-/// input every epoch.
-pub fn predict_epoch(
-    shape: &GnnShape,
+/// Symbolically execute one forward pass (through the loss boundary's
+/// final Col→Row, which leaves the logits row-sliced), appending its
+/// events to `pr`. Returns the per-layer activation caches and the
+/// memoized-intermediate flags the backward pass consumes.
+///
+/// `layer1_redist_bytes` is the serving aggregation cache's hook: when
+/// `Some(b)` and layer 1 runs SpMM-first, the layer's intra-layer Col→Row
+/// exchange is priced at `b` bytes (the cache-pruned volume) instead of
+/// the dense formula. `None` reproduces the training schedule exactly.
+pub(crate) fn predict_forward(
+    pr: &mut Predictor<'_>,
     config: &OrderConfig,
     memoize: bool,
-    p: usize,
-    rank: usize,
-) -> Vec<SchedEvent> {
+    layer1_redist_bytes: Option<u64>,
+) -> (Vec<SymCache>, Vec<bool>) {
     let layers = config.layers();
+    let feats = pr.shape.feats.clone();
     assert_eq!(
-        shape.feats.len(),
+        feats.len(),
         layers + 1,
         "shape has {} widths but the config has {layers} layers",
-        shape.feats.len()
+        feats.len()
     );
-    assert!(rank < p, "rank {rank} out of range for P={p}");
-    let feats = &shape.feats;
-    let mut pr = Predictor {
-        shape,
-        p,
-        rank,
-        events: Vec::new(),
-    };
-
-    // ---- forward ----
     // h[l] mirrors the engine's per-layer FormCache; the input holds both
     // layouts (the initial distribution is free).
     let mut h: Vec<SymCache> = Vec::with_capacity(layers + 1);
@@ -315,9 +327,23 @@ pub fn predict_epoch(
         let (f_in, f_out) = (feats[l - 1], feats[l]);
         let out = match config.forward[l - 1] {
             Order::SpmmFirst => {
-                pr.spmm_via_col(&mut h[l - 1], f_in);
-                let mut tc = SymCache::of_col();
-                pr.gemm_via_row(&mut tc, f_in, f_out);
+                if l == 1 && layer1_redist_bytes.is_some() {
+                    // Cache-pruned layer: the input holds both forms, so
+                    // the SpMM needs no redistribution; the aggregation's
+                    // Col→Row exchange ships only unskipped strips.
+                    pr.spmm_via_col(&mut h[0], f_in);
+                    pr.events.push(SchedEvent::Redist {
+                        from: Form::Col,
+                        to: Form::Row,
+                        kind: TraceCollective::Redistribute,
+                        bytes: layer1_redist_bytes.unwrap_or(0),
+                    });
+                    pr.gemm(f_in, f_out);
+                } else {
+                    pr.spmm_via_col(&mut h[l - 1], f_in);
+                    let mut tc = SymCache::of_col();
+                    pr.gemm_via_row(&mut tc, f_in, f_out);
+                }
                 if memoize {
                     t_fwd[l - 1] = true;
                 }
@@ -334,6 +360,27 @@ pub fn predict_epoch(
     }
     // The loss boundary: logits must be row-sliced.
     pr.require_row(&mut h[layers], feats[layers], TraceCollective::Redistribute);
+    (h, t_fwd)
+}
+
+/// Predict the schedule-level event sequence rank `rank` of `p` produces
+/// during one training epoch of `config` on `shape` (full replication,
+/// no edge mask). Every epoch of a fixed-plan run produces this same
+/// sequence: the engine rebuilds its layout caches from the (dual-form)
+/// input every epoch.
+pub fn predict_epoch(
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    p: usize,
+    rank: usize,
+) -> Vec<SchedEvent> {
+    let layers = config.layers();
+    let feats = &shape.feats;
+    let mut pr = Predictor::new(shape, p, rank);
+
+    // ---- forward ----
+    let (mut h, t_fwd) = predict_forward(&mut pr, config, memoize, None);
 
     // ---- backward ----
     // The loss gradient arrives row-sliced with the logits' width.
@@ -402,7 +449,7 @@ pub fn predict_epoch(
 /// Reduce one rank's recorded trace to the schedule-level events of epoch
 /// `epoch`. Bare `Collective` sends outside a redistribution/all-reduce
 /// span (loss and accuracy scalar reductions, dynamic-selection traffic)
-/// are ignored, as are `Retry` and `OverlapStrip` instants.
+/// are ignored, as are `Retry`, `OverlapStrip` and `AggCache` instants.
 ///
 /// # Errors
 /// If the trace is malformed (unbalanced spans) or never enters epoch
@@ -528,7 +575,9 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
                     _ => {}
                 }
             }
-            EventData::Retry { .. } | EventData::OverlapStrip { .. } => {}
+            EventData::Retry { .. }
+            | EventData::OverlapStrip { .. }
+            | EventData::AggCache { .. } => {}
         }
     }
     if !stack.is_empty() {

@@ -21,6 +21,9 @@
 //! * [`conformance`] — the schedule-conformance checker: expand a plan
 //!   into the predicted per-rank event sequence and diff it against a
 //!   recorded `rdm-trace` run.
+//! * [`serving`] — the serving-session extension of the checker: the
+//!   frozen-weight aggregation-cache directory ([`CacheSim`]) and the
+//!   per-batch schedule predictor/extractor for online inference traces.
 
 pub mod config;
 pub mod conformance;
@@ -28,6 +31,7 @@ pub mod cost;
 pub mod device;
 pub mod layer;
 pub mod memory;
+pub mod serving;
 pub mod symbolic;
 
 pub use config::{Order, OrderConfig};
@@ -39,4 +43,8 @@ pub use cost::{
 pub use device::{DeviceModel, MeasuredRank, Predicted};
 pub use layer::LayerDims;
 pub use memory::{cagnet_bytes_per_gpu, max_replication, rdm_bytes_per_gpu, MemoryParams};
+pub use serving::{
+    check_session, extract_session, predict_session, AdmitOutcome, CacheSim, ServeEvent,
+    ServeViolation, SessionBatch,
+};
 pub use symbolic::{table4, Table4Row};

@@ -21,6 +21,7 @@ fn mix(mut z: u64) -> u64 {
 
 const SALT_CLIENT: u64 = 0xC11E;
 const SALT_TARGET: u64 = 0x7A46;
+const SALT_TIER: u64 = 0x5A1F;
 
 /// One target-vertex inference request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +51,15 @@ pub struct LoadGen {
     pub clients: usize,
     pub mean_gap_us: u64,
     pub count: usize,
+    /// Target-popularity skew in halving tiers: `0` draws targets uniform
+    /// over the graph; `s > 0` first draws a tier `t` (tier `t` with
+    /// probability `2^-(t+1)`, capped at `s`), then a target uniform on
+    /// the first `n >> t` vertices — a Zipf-like integer-only hot set
+    /// where tier-0 vertices soak up most of the stream. Entirely in
+    /// 64-bit integer arithmetic so streams replay bit-identically across
+    /// hosts, and `skew == 0` reproduces the historical uniform stream
+    /// byte for byte.
+    pub skew: u32,
 }
 
 impl LoadGen {
@@ -63,7 +73,15 @@ impl LoadGen {
             clients,
             mean_gap_us,
             count,
+            skew: 0,
         }
+    }
+
+    /// Skew the target distribution toward a hot set (see
+    /// [`LoadGen::skew`]). `tiers == 0` leaves the stream uniform.
+    pub fn zipf(mut self, tiers: u32) -> Self {
+        self.skew = tiers;
+        self
     }
 
     /// Expand the stream against a graph with `n` vertices. Targets are
@@ -80,7 +98,13 @@ impl LoadGen {
                 let h = mix(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 t += 1 + h % (2 * self.mean_gap_us - 1).max(1);
                 let client = (mix(h ^ SALT_CLIENT) % self.clients as u64) as usize;
-                let target = (mix(h ^ SALT_TARGET) % n as u64) as u32;
+                let pool = if self.skew == 0 {
+                    n as u64
+                } else {
+                    let tier = mix(h ^ SALT_TIER).leading_zeros().min(self.skew);
+                    (n as u64 >> tier).max(1)
+                };
+                let target = (mix(h ^ SALT_TARGET) % pool) as u32;
                 let req_id = next_req_id[client];
                 next_req_id[client] += 1;
                 InferRequest {
@@ -147,6 +171,37 @@ mod tests {
             (empirical - mean as f64).abs() < 0.05 * mean as f64,
             "empirical mean gap {empirical} far from {mean}"
         );
+    }
+
+    #[test]
+    fn zero_skew_is_byte_identical_to_the_uniform_stream() {
+        let g = LoadGen::new(42, 4, 100, 200);
+        assert_eq!(g.zipf(0).generate(512), g.generate(512));
+    }
+
+    #[test]
+    fn skewed_streams_concentrate_on_a_hot_set() {
+        let n = 1024;
+        let uniform = LoadGen::new(8, 2, 10, 4000).generate(n);
+        let skewed = LoadGen::new(8, 2, 10, 4000).zipf(6).generate(n);
+        let hot =
+            |reqs: &[InferRequest]| reqs.iter().filter(|r| (r.target as usize) < n / 16).count();
+        assert!(
+            hot(&skewed) > 2 * hot(&uniform),
+            "skewed hot-set mass {} not above uniform {}",
+            hot(&skewed),
+            hot(&uniform)
+        );
+        // Everything besides the targets is untouched by the skew.
+        for (u, s) in uniform.iter().zip(&skewed) {
+            assert_eq!(
+                (u.client, u.req_id, u.arrival_us),
+                (s.client, s.req_id, s.arrival_us)
+            );
+            assert!((s.target as usize) < n);
+        }
+        // Replay determinism holds for skewed streams too.
+        assert_eq!(skewed, LoadGen::new(8, 2, 10, 4000).zipf(6).generate(n));
     }
 
     #[test]

@@ -64,9 +64,14 @@ pub struct BatchTiming {
     /// completion)` — the engine serves one batch at a time.
     pub dispatch_us: u64,
     /// Device-model execution time: slowest rank's compute + communication
-    /// for this batch, plus the per-dispatch overhead.
+    /// for this batch, plus the per-dispatch overhead, minus whatever the
+    /// pipeline hid.
     pub service_us: u64,
     pub completion_us: u64,
+    /// Modeled communication time the pipelined admission hid for this
+    /// batch (in-batch strip overlap plus cross-batch prefetch behind the
+    /// predecessor); `0` for blocking sessions.
+    pub overlap_us: u64,
 }
 
 /// Everything a serving session produced: per-request outcomes, the batch
@@ -96,6 +101,11 @@ pub struct ServeReport {
     pub messages: u64,
     /// Transmission attempts lost to injected faults and re-sent.
     pub retries: u64,
+    /// Aggregation-cache hits across the session (request targets whose
+    /// layer-0 aggregated row was already cached when their batch opened).
+    pub cache_hits: u64,
+    /// Aggregation-cache misses (each occurrence counts).
+    pub cache_misses: u64,
 }
 
 impl ServeReport {
@@ -151,6 +161,22 @@ impl ServeReport {
         self.requests.len() as f64 * 1.0e6 / span as f64
     }
 
+    /// Total modeled communication time the pipeline hid, summed over
+    /// batches.
+    pub fn overlap_us_total(&self) -> u64 {
+        self.batches.iter().map(|b| b.overlap_us).sum()
+    }
+
+    /// Session-wide aggregation-cache hit rate in `[0, 1]` (`0` when the
+    /// cache is off or nothing was requested).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
     /// Fixed-format text report. Every field is an integer or printed with
     /// a fixed precision, so a replayed session renders byte-identically.
     pub fn render(&self) -> String {
@@ -166,6 +192,8 @@ impl ServeReport {
              requests    {} in {} batches (mean batch {:.2})\n\
              latency     p50 {} us  p99 {} us  mean {} us  max {} us\n\
              throughput  {:.1} req/s (virtual)\n\
+             overlap     {} us hidden by pipelining\n\
+             agg-cache   {} hits  {} misses  (hit rate {:.2})\n\
              workspace   warmup fresh {}  steady fresh {}  steady reused {}\n\
              comm        {} payload bytes in {} messages  retries {}\n",
             self.dataset,
@@ -179,6 +207,10 @@ impl ServeReport {
             self.mean_us(),
             self.max_us(),
             self.throughput_rps(),
+            self.overlap_us_total(),
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
             self.ws_fresh_warmup,
             self.ws_fresh_steady,
             self.ws_reused_steady,
@@ -265,6 +297,7 @@ mod tests {
                     dispatch_us: 14,
                     service_us: 16,
                     completion_us: 30,
+                    overlap_us: 0,
                 },
                 BatchTiming {
                     idx: 1,
@@ -273,6 +306,7 @@ mod tests {
                     dispatch_us: 45,
                     service_us: 10,
                     completion_us: 55,
+                    overlap_us: 3,
                 },
             ],
             ws_fresh_warmup: 12,
@@ -281,6 +315,8 @@ mod tests {
             payload_bytes: 4096,
             messages: 16,
             retries: 0,
+            cache_hits: 3,
+            cache_misses: 1,
         }
     }
 
@@ -315,6 +351,8 @@ mod tests {
             "3 in 2 batches",
             "warmup fresh 12  steady fresh 0  steady reused 12",
             "4096 payload bytes in 16 messages  retries 0",
+            "overlap     3 us hidden by pipelining",
+            "agg-cache   3 hits  1 misses  (hit rate 0.75)",
         ] {
             assert!(a.contains(needle), "missing {needle:?} in:\n{a}");
         }
@@ -334,6 +372,8 @@ mod tests {
             payload_bytes: 0,
             messages: 0,
             retries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         };
         assert_eq!(r.p50_us(), 0);
         assert_eq!(r.p99_us(), 0);

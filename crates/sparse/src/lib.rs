@@ -17,4 +17,4 @@ pub mod spmm;
 
 pub use csr::{balanced_panels, Coo, Csr};
 pub use norm::{gcn_normalize, mean_normalize, row_normalize};
-pub use spmm::{spmm, spmm_acc, spmm_masked};
+pub use spmm::{spmm, spmm_acc, spmm_masked, spmm_skip};

@@ -100,6 +100,80 @@ pub fn spmm_acc(a: &Csr, b: &Mat, c: &mut Mat) {
     });
 }
 
+/// Row-skipping SpMM: like [`spmm`] but output rows flagged in `skip` are
+/// left at zero and their nonzeros do no work — the frozen-weight serving
+/// cache's kernel, where skipped rows are filled from cached aggregations
+/// instead of recomputed. Unskipped rows run the exact per-row kernels of
+/// [`spmm_acc`] (same mode dispatch, same accumulation order), so every
+/// computed row is bitwise identical to the full kernel's.
+///
+/// # Panics
+/// If `skip.len() != a.rows()` or shapes mismatch.
+pub fn spmm_skip(a: &Csr, b: &Mat, skip: &[bool]) -> Mat {
+    assert_eq!(skip.len(), a.rows(), "skip length must equal A's rows");
+    let n = b.cols();
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spmm_skip: A is {}x{} but B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        n
+    );
+    let mut c = Mat::zeros(a.rows(), n);
+    if a.rows() == 0 || n == 0 || a.nnz() == 0 {
+        return c;
+    }
+    let b_data = b.as_slice();
+    let indptr = a.indptr();
+    let indices = a.indices();
+    let vals = a.vals();
+    // Same nnz-balanced panels as the full kernel (skips only thin work;
+    // the cached partition is still the right upper bound).
+    let bounds = a.nnz_partition(task_count(a.rows()));
+    let mode = kernels::mode();
+    let avx = kernels::avx2_available();
+    rayon::par_partition_mut(c.as_mut_slice(), bounds, n, |t, c_chunk| {
+        for (rr, r) in (bounds[t]..bounds[t + 1]).enumerate() {
+            if skip[r] {
+                continue;
+            }
+            let c_row = &mut c_chunk[rr * n..(rr + 1) * n];
+            let row_idx = indptr[r]..indptr[r + 1];
+            match mode {
+                Mode::Scalar | Mode::Fast(Width::W1) => {
+                    for idx in row_idx {
+                        let k = indices[idx] as usize;
+                        let v = vals[idx];
+                        let b_row = &b_data[k * n..(k + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += v * bv;
+                        }
+                    }
+                }
+                Mode::Fast(Width::W4) => fast_row::<4>(
+                    avx,
+                    n,
+                    &indices[row_idx.clone()],
+                    &vals[row_idx],
+                    b_data,
+                    c_row,
+                ),
+                Mode::Fast(Width::W8) => fast_row::<8>(
+                    avx,
+                    n,
+                    &indices[row_idx.clone()],
+                    &vals[row_idx],
+                    b_data,
+                    c_row,
+                ),
+            }
+        }
+    });
+    c
+}
+
 /// `W`-wide strips processed together per pass over a row's nonzeros:
 /// amortizes each nonzero's column decode over `SB` register blocks.
 const SB: usize = 4;
@@ -497,6 +571,62 @@ mod tests {
             max / mean <= (399.0 / mean).max(1.5),
             "per-task nnz skew unbounded: max {max}, mean {mean}"
         );
+    }
+
+    #[test]
+    fn skip_rows_are_zero_and_kept_rows_are_bitwise_equal() {
+        use rand::{Rng, SeedableRng};
+        use rdm_dense::kernels::{with_mode, Mode, Width};
+        let a = random_csr(24, 24, 0.3, 13);
+        let b = Mat::random(24, 7, 1.0, 14);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let skip: Vec<bool> = (0..24).map(|_| rng.gen_bool(0.4)).collect();
+        for width in Width::all() {
+            with_mode(Mode::Fast(width), || {
+                let full = spmm(&a, &b);
+                let thin = spmm_skip(&a, &b, &skip);
+                for (r, &skipped) in skip.iter().enumerate() {
+                    for j in 0..7 {
+                        if skipped {
+                            assert_eq!(thin.get(r, j), 0.0, "row {r} not zeroed");
+                        } else {
+                            assert_eq!(
+                                thin.get(r, j).to_bits(),
+                                full.get(r, j).to_bits(),
+                                "row {r} col {j} diverged at width {width:?}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn skip_none_is_bitwise_spmm_and_degenerate_shapes_hold() {
+        let a = random_csr(16, 16, 0.3, 7);
+        let b = Mat::random(16, 6, 1.0, 8);
+        let full = spmm(&a, &b);
+        let thin = spmm_skip(&a, &b, &[false; 16]);
+        assert_eq!(full.as_slice(), thin.as_slice());
+        let all = spmm_skip(&a, &b, &[true; 16]);
+        assert!(all.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(
+            spmm_skip(&Csr::empty(0, 6), &Mat::zeros(6, 3), &[]).shape(),
+            (0, 3)
+        );
+        assert_eq!(
+            spmm_skip(&Csr::empty(4, 6), &Mat::zeros(6, 0), &[false; 4]).shape(),
+            (4, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn skip_length_mismatch_panics() {
+        let a = Csr::empty(4, 6);
+        let b = Mat::zeros(6, 3);
+        let _ = spmm_skip(&a, &b, &[false; 3]);
     }
 
     #[test]

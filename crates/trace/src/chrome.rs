@@ -196,6 +196,25 @@ pub fn to_chrome_json(traces: &[RankTrace], normalized: bool) -> String {
                         seq_arg,
                     ],
                 ),
+                EventData::AggCache {
+                    hits,
+                    misses,
+                    skipped,
+                } => push_event(
+                    &mut out,
+                    &mut first,
+                    "agg-cache",
+                    'i',
+                    ts,
+                    t.rank,
+                    Some('t'),
+                    &[
+                        ("hits", hits.to_string()),
+                        ("misses", misses.to_string()),
+                        ("skipped", skipped.to_string()),
+                        seq_arg,
+                    ],
+                ),
             }
         }
     }

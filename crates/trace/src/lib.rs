@@ -21,7 +21,9 @@
 //! * Instants — `Collective` (one per point-to-point send, carrying the
 //!   fabric sequence number), `Retry` (one per injected drop the envelope
 //!   protocol recovered from), `OverlapStrip` (one per pipelined strip,
-//!   carrying the modeled hidden time).
+//!   carrying the modeled hidden time), `AggCache` (one per served batch
+//!   when the frozen-weight aggregation cache is on, carrying its
+//!   hit/miss/skip accounting).
 //!
 //! Only *sender-side* events are recorded: receive completion order under
 //! `try_take` polling is timing-dependent, while the send schedule is a
@@ -167,6 +169,15 @@ pub enum EventData {
     /// One strip of a chunk-pipelined redistribution retired, with the
     /// modeled communication time it hid behind compute.
     OverlapStrip { idx: usize, hidden_ns: u64 },
+    /// One served batch's aggregation-cache accounting: how many request
+    /// targets hit / missed the frozen-weight layer-0 cache, and how many
+    /// SpMM rows the whole cluster skipped this batch (the directory's
+    /// size at batch open).
+    AggCache {
+        hits: u64,
+        misses: u64,
+        skipped: u64,
+    },
 }
 
 /// One recorded event. `seq` is strictly increasing per rank; `ts_ns` is

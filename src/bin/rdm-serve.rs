@@ -42,6 +42,9 @@ struct Args {
     budget: Option<usize>,
     seed: u64,
     sparse: bool,
+    pipeline: Option<usize>,
+    cache: usize,
+    zipf: u32,
     fast_kernels: bool,
     chaos: Option<u64>,
     drop_rate: f64,
@@ -71,6 +74,9 @@ impl Default for Args {
             budget: None,
             seed: 42,
             sparse: false,
+            pipeline: None,
+            cache: 0,
+            zipf: 0,
             fast_kernels: false,
             chaos: None,
             drop_rate: 0.05,
@@ -113,6 +119,14 @@ SERVING:
   --seed <s>            load-generator seed; the whole report replays
                         byte-identically for a fixed seed [42]
   --sparse              ship redistributions in the sparsity-aware wire format
+  --pipeline <chunks>   pipelined batch admission: chunk every redistribution
+                        into <chunks> strips (>= 2) and hide the transfer
+                        behind compute; logits stay bitwise identical
+  --cache <rows>        per-rank row capacity of the frozen-weight layer-0
+                        aggregation cache; 0 disables [0]. Needs the
+                        full-graph sampler; inert on GEMM-first plans
+  --zipf <tiers>        skew request targets toward a hot set with <tiers>
+                        halving tiers; 0 keeps the stream uniform [0]
   --fast-kernels        lane-unrolled SIMD microkernels for GEMM/SpMM; logits
                         stay bitwise-equal to a direct forward at the same
                         width, epsilon-close to the scalar reference path
@@ -190,6 +204,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--sparse" => args.sparse = true,
+            "--pipeline" => {
+                let chunks: usize = value("--pipeline")?.parse().map_err(|e| format!("{e}"))?;
+                if chunks < 2 {
+                    return Err(format!("--pipeline needs at least 2 chunks, got {chunks}"));
+                }
+                args.pipeline = Some(chunks);
+            }
+            "--cache" => args.cache = value("--cache")?.parse().map_err(|e| format!("{e}"))?,
+            "--zipf" => args.zipf = value("--zipf")?.parse().map_err(|e| format!("{e}"))?,
             "--fast-kernels" => args.fast_kernels = true,
             "--chaos" => args.chaos = Some(value("--chaos")?.parse().map_err(|e| format!("{e}"))?),
             "--drop-rate" => {
@@ -307,11 +330,13 @@ fn main() -> ExitCode {
         },
     );
 
-    let load = LoadGen::new(args.seed, args.clients, args.mean_gap, args.requests);
+    let load = LoadGen::new(args.seed, args.clients, args.mean_gap, args.requests).zipf(args.zipf);
     let requests = load.generate(ds.n());
     let mut cfg = ServeConfig::new(args.ranks);
     cfg.policy = BatchPolicy::new(args.max_batch, args.max_wait);
     cfg.sparse = args.sparse;
+    cfg.pipeline = args.pipeline;
+    cfg.cache = args.cache;
     if args.fast_kernels {
         cfg = cfg.fast_kernels();
     }

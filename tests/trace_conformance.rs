@@ -8,9 +8,11 @@
 //! schedules without code changes.
 
 use gnn_rdm::comm::FaultPlan;
-use gnn_rdm::core::{train_gcn, Plan, TrainerConfig};
+use gnn_rdm::core::gcn::GcnWeights;
+use gnn_rdm::core::{train_gcn, Plan, TrainerConfig, WeightSnapshot};
 use gnn_rdm::graph::{Dataset, DatasetSpec};
-use gnn_rdm::model::{conformance, GnnShape, OrderConfig};
+use gnn_rdm::model::{check_session, conformance, GnnShape, OrderConfig, SessionBatch};
+use gnn_rdm::serve::{planned_batches, serve, LoadGen, ServeConfig};
 use gnn_rdm::trace::{chrome, EventData, RankTrace, Span};
 
 fn dataset() -> Dataset {
@@ -197,6 +199,144 @@ fn exported_chrome_json_passes_schema_validation() {
                 .unwrap_or_else(|e| panic!("p={p} normalized={normalized}: {e}"));
         }
     }
+}
+
+/// A traced serving session plus the schedule the predictor needs: the
+/// per-batch admission markers and targets, rebuilt exactly as the engine
+/// builds them (a pure function of the shared request stream).
+fn traced_session(
+    ds: &Dataset,
+    snap: &WeightSnapshot,
+    cfg: &ServeConfig,
+) -> (Vec<RankTrace>, Vec<SessionBatch>) {
+    let reqs = LoadGen::new(41, 3, 30, 36).zipf(4).generate(ds.n());
+    let mut cfg = cfg.clone();
+    cfg.trace = true;
+    let out = serve(ds, snap, &reqs, &cfg).unwrap();
+    let batches = planned_batches(&reqs, &cfg.policy)
+        .iter()
+        .map(|b| SessionBatch {
+            idx: b.idx,
+            requests: b.requests.iter().map(|r| (r.client, r.req_id)).collect(),
+            targets: b.requests.iter().map(|r| r.target).collect(),
+        })
+        .collect();
+    (out.traces.expect("traced session returns traces"), batches)
+}
+
+#[test]
+fn serving_sessions_conform_across_plans_cache_and_pipeline() {
+    // The serving predictor must explain every rank's recorded per-batch
+    // event sequence from (plan id, P, batch schedule, cache state) alone:
+    // zero violations across plan ids × cache on/off × pipeline on/off,
+    // including cache-pruned Redist frames whose bytes follow the
+    // directory replay.
+    let ds = dataset();
+    let snap = WeightSnapshot::from_weights(&GcnWeights::init(&[16, 10, 5], 23));
+    let shape = GnnShape {
+        n: ds.n(),
+        nnz: ds.adj_norm.nnz(),
+        feats: vec![16, 10, 5],
+    };
+    for id in [0usize, 5, 10, 15] {
+        for cache in [0usize, 16] {
+            for pipeline in [None, Some(3)] {
+                let mut cfg = ServeConfig::new(2);
+                cfg.plan = Some(Plan::from_id(id, 2, 2));
+                cfg.cache = cache;
+                cfg.pipeline = pipeline;
+                let (traces, batches) = traced_session(&ds, &snap, &cfg);
+                let config = OrderConfig::from_id(id, 2);
+                let violations = check_session(&traces, &shape, &config, true, &batches, cache)
+                    .unwrap_or_else(|e| panic!("id={id} cache={cache} pipeline={pipeline:?}: {e}"));
+                assert!(
+                    violations.is_empty(),
+                    "id={id} cache={cache} pipeline={pipeline:?}: {} violation(s), first: {}",
+                    violations.len(),
+                    violations[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn serving_conformance_survives_chaos() {
+    // Fault retransmissions are transparent to the extracted serving
+    // schedule: a chaotic cached+pipelined session conforms with zero
+    // violations, same as the clean one.
+    let ds = dataset();
+    let snap = WeightSnapshot::from_weights(&GcnWeights::init(&[16, 10, 5], 23));
+    let shape = GnnShape {
+        n: ds.n(),
+        nnz: ds.adj_norm.nnz(),
+        feats: vec![16, 10, 5],
+    };
+    let mut cfg = ServeConfig::new(2);
+    cfg.plan = Some(Plan::from_id(5, 2, 2));
+    cfg.cache = 16;
+    cfg.pipeline = Some(3);
+    cfg.faults = Some(
+        FaultPlan::new(chaos_base() ^ 0x5EBE)
+            .drop_rate(0.15)
+            .delay(0.25, 3),
+    );
+    let (traces, batches) = traced_session(&ds, &snap, &cfg);
+    let config = OrderConfig::from_id(5, 2);
+    let violations = check_session(&traces, &shape, &config, true, &batches, 16).unwrap();
+    assert!(
+        violations.is_empty(),
+        "chaos broke serving conformance: {}",
+        violations[0]
+    );
+}
+
+#[test]
+fn corrupting_one_batch_event_yields_one_addressed_serving_violation() {
+    let ds = dataset();
+    let snap = WeightSnapshot::from_weights(&GcnWeights::init(&[16, 10, 5], 23));
+    let shape = GnnShape {
+        n: ds.n(),
+        nnz: ds.adj_norm.nnz(),
+        feats: vec![16, 10, 5],
+    };
+    let mut cfg = ServeConfig::new(2);
+    cfg.plan = Some(Plan::from_id(5, 2, 2));
+    cfg.cache = 16;
+    let (mut traces, batches) = traced_session(&ds, &snap, &cfg);
+    let config = OrderConfig::from_id(5, 2);
+    assert!(check_session(&traces, &shape, &config, true, &batches, 16)
+        .unwrap()
+        .is_empty());
+    // Corrupt rank 1's second batch span: one wrong admission count.
+    let victim = traces[1]
+        .events
+        .iter_mut()
+        .filter(|e| matches!(e.data, EventData::Begin(Span::Batch { .. })))
+        .nth(1)
+        .expect("session ran at least two batches");
+    let batch_idx = if let EventData::Begin(Span::Batch { idx, size }) = victim.data {
+        victim.data = EventData::Begin(Span::Batch {
+            idx,
+            size: size + 1,
+        });
+        idx
+    } else {
+        unreachable!()
+    };
+    let violations = check_session(&traces, &shape, &config, true, &batches, 16).unwrap();
+    assert_eq!(
+        violations.len(),
+        1,
+        "one corrupted batch event must yield exactly one violation: {violations:?}"
+    );
+    let v = &violations[0];
+    assert_eq!(v.rank, 1);
+    assert_eq!(v.batch, batch_idx);
+    let msg = v.to_string();
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains(&format!("batch {batch_idx}")), "{msg}");
+    assert!(msg.contains("expected") && msg.contains("got"), "{msg}");
 }
 
 #[test]
