@@ -251,6 +251,77 @@ proptest! {
         }
     }
 
+    /// Within every row group of a `P/R_A × R_A` grid, the sparsity-aware
+    /// chunk-pipelined all-to-all is bitwise the plain dense group
+    /// all-to-all — for any chunk count (ragged tails, empty chunks), any
+    /// zero-row pattern, and any chaos schedule — and its wire bytes
+    /// never exceed the dense volume while the dense-equivalent book
+    /// matches it exactly.
+    #[test]
+    fn group_chunked_sparse_equals_dense_group_all_to_all(
+        panels in 1usize..4,
+        r_a in 1usize..4,
+        rows in 1usize..10,
+        cols in 1usize..8,
+        chunks in 1usize..12,
+        drop in 0.0f64..0.3,
+        seed in 0u64..64,
+    ) {
+        let p = panels * r_a;
+        let make = move |me: usize| -> Vec<Mat> {
+            (0..r_a)
+                .map(|j| {
+                    // Zero some pieces outright so the indexed-strip
+                    // packing actually engages.
+                    if (me + j + seed as usize).is_multiple_of(3) {
+                        Mat::zeros(rows, cols)
+                    } else {
+                        Mat::random(rows, cols, 1.0, seed ^ ((me * 31 + j) as u64))
+                    }
+                })
+                .collect()
+        };
+        let row_group = move |me: usize| -> Vec<usize> {
+            let base = (me / r_a) * r_a;
+            (base..base + r_a).collect()
+        };
+        let dense = Cluster::new(p).run(move |ctx| {
+            let me = ctx.rank();
+            ctx.group_all_to_all(&row_group(me), make(me), K)
+        });
+        let plan = FaultPlan::new(chaos_base() ^ seed ^ 0x9A7)
+            .drop_rate(drop)
+            .delay(0.2, 3);
+        let sparse = Cluster::with_faults(p, plan).run(move |ctx| {
+            let me = ctx.rank();
+            let group = row_group(me);
+            let mut pipe =
+                ctx.group_all_to_all_chunked_sparse(&group, make(me), ChunkAxis::Cols, chunks, K);
+            let mut per_sender: Vec<Vec<Mat>> = (0..r_a).map(|_| Vec::new()).collect();
+            while let Some(pieces) = pipe.recv_chunk() {
+                for (sender, piece) in pieces.into_iter().enumerate() {
+                    per_sender[sender].push(piece);
+                }
+            }
+            per_sender
+                .into_iter()
+                .map(|c| rdm_dense::hstack(&c))
+                .collect::<Vec<Mat>>()
+        });
+        for (rank, (d, s)) in dense.results.iter().zip(&sparse.results).enumerate() {
+            prop_assert_eq!(d, s, "rank {} diverged from the dense group all-to-all", rank);
+        }
+        for (sd, ss) in dense.stats.iter().zip(&sparse.stats) {
+            prop_assert!(
+                ss.bytes(K) <= sd.bytes(K),
+                "sparse wire bytes {} above dense {}",
+                ss.bytes(K),
+                sd.bytes(K)
+            );
+            prop_assert_eq!(ss.dense_bytes(K), sd.bytes(K), "dense-equivalent book diverged");
+        }
+    }
+
     /// Reduce-scatter sums exactly what each rank addressed to the
     /// receiver.
     #[test]

@@ -238,7 +238,8 @@ impl DistMat {
         chunks: usize,
         sink: impl FnMut(usize, &Mat),
     ) -> Result<DistMat, RedistError> {
-        self.redistribute_overlapped_inner(ctx, target, kind, chunks, false, sink)
+        let group: Vec<usize> = (0..ctx.size()).collect();
+        self.redistribute_overlapped_inner(ctx, &group, target, kind, chunks, false, sink)
     }
 
     /// Sparsity-aware [`DistMat::redistribute_overlapped`]: each pipeline
@@ -253,12 +254,47 @@ impl DistMat {
         chunks: usize,
         sink: impl FnMut(usize, &Mat),
     ) -> Result<DistMat, RedistError> {
-        self.redistribute_overlapped_inner(ctx, target, kind, chunks, true, sink)
+        let group: Vec<usize> = (0..ctx.size()).collect();
+        self.redistribute_overlapped_inner(ctx, &group, target, kind, chunks, true, sink)
     }
 
+    /// Group form of [`DistMat::redistribute_overlapped`]: the chunked
+    /// all-to-all runs inside `group` (the `R_A < P` row group), splitting
+    /// the local block `group.len()` ways instead of `P` ways. With the
+    /// full-cluster group this is exactly `redistribute_overlapped`; with a
+    /// row group it streams the tile-layout conversion of
+    /// [`crate::ops::Topology::row_to_tile`] / `tile_to_row` strip by
+    /// strip, bit-identical to the blocking group redistribution.
+    pub fn redistribute_overlapped_grouped(
+        &self,
+        ctx: &RankCtx,
+        group: &[usize],
+        target: Dist,
+        kind: CollectiveKind,
+        chunks: usize,
+        sink: impl FnMut(usize, &Mat),
+    ) -> Result<DistMat, RedistError> {
+        self.redistribute_overlapped_inner(ctx, group, target, kind, chunks, false, sink)
+    }
+
+    /// Sparsity-aware [`DistMat::redistribute_overlapped_grouped`].
+    pub fn redistribute_overlapped_grouped_sparse(
+        &self,
+        ctx: &RankCtx,
+        group: &[usize],
+        target: Dist,
+        kind: CollectiveKind,
+        chunks: usize,
+        sink: impl FnMut(usize, &Mat),
+    ) -> Result<DistMat, RedistError> {
+        self.redistribute_overlapped_inner(ctx, group, target, kind, chunks, true, sink)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn redistribute_overlapped_inner(
         &self,
         ctx: &RankCtx,
+        group: &[usize],
         target: Dist,
         kind: CollectiveKind,
         chunks: usize,
@@ -266,21 +302,14 @@ impl DistMat {
         mut sink: impl FnMut(usize, &Mat),
     ) -> Result<DistMat, RedistError> {
         assert!(chunks > 0, "need at least one chunk");
-        let p = ctx.size();
-        let group: Vec<usize> = (0..p).collect();
+        let g = group.len();
         match (self.dist, target) {
             (Dist::Row, Dist::Col) => {
-                let parts = rdm_dense::split_cols(&self.local, p);
+                let parts = rdm_dense::split_cols(&self.local, g);
                 let mut pipe = if sparse {
-                    ctx.group_all_to_all_chunked_sparse(
-                        &group,
-                        parts,
-                        ChunkAxis::Cols,
-                        chunks,
-                        kind,
-                    )
+                    ctx.group_all_to_all_chunked_sparse(group, parts, ChunkAxis::Cols, chunks, kind)
                 } else {
-                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Cols, chunks, kind)
+                    ctx.group_all_to_all_chunked(group, parts, ChunkAxis::Cols, chunks, kind)
                 };
                 let mut units = Vec::with_capacity(chunks);
                 while let Some(pieces) = pipe.recv_chunk() {
@@ -296,17 +325,11 @@ impl DistMat {
                 })
             }
             (Dist::Col, Dist::Row) => {
-                let parts = rdm_dense::split_rows(&self.local, p);
+                let parts = rdm_dense::split_rows(&self.local, g);
                 let mut pipe = if sparse {
-                    ctx.group_all_to_all_chunked_sparse(
-                        &group,
-                        parts,
-                        ChunkAxis::Rows,
-                        chunks,
-                        kind,
-                    )
+                    ctx.group_all_to_all_chunked_sparse(group, parts, ChunkAxis::Rows, chunks, kind)
                 } else {
-                    ctx.group_all_to_all_chunked(&group, parts, ChunkAxis::Rows, chunks, kind)
+                    ctx.group_all_to_all_chunked(group, parts, ChunkAxis::Rows, chunks, kind)
                 };
                 let mut units = Vec::with_capacity(chunks);
                 while let Some(pieces) = pipe.recv_chunk() {

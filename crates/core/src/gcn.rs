@@ -58,51 +58,91 @@ impl OverlapSpec {
     }
 }
 
+/// Why a user-requested [`OverlapSpec`] would be inert on this execution
+/// shape, or `None` when the pipelined path runs. The reasons mirror
+/// `overlap_active`'s gate exactly so reports can explain a silently
+/// blocking run: no pipeline depth (`chunks < 2`), nothing to overlap
+/// (single rank, or `r_a = 1` where the redistribution group is this rank
+/// alone), or the masked SpMM kernel (which assembles its column slice
+/// inline and cannot stream strips).
+pub fn overlap_inert_reason(
+    chunks: usize,
+    p: usize,
+    r_a: usize,
+    masked: bool,
+) -> Option<&'static str> {
+    if chunks < 2 {
+        Some("chunks < 2")
+    } else if p < 2 {
+        Some("single rank")
+    } else if masked {
+        Some("edge mask")
+    } else if r_a < 2 {
+        Some("r_a = 1 leaves no redistribution group to pipeline")
+    } else {
+        None
+    }
+}
+
 /// The pipelined path replaces a blocking redistribution only when there
-/// is a pipeline to run (`chunks > 1`, more than one rank) on the plain
-/// column-sliced layout (`R_A = P`; the tile layout of `R_A < P` splits
-/// redistribution across row groups) without an edge mask.
+/// is a pipeline to run (`chunks > 1`, more than one rank, a
+/// redistribution group wider than this rank alone — `r_a > 1`; under
+/// `R_A < P` the chunked all-to-all runs inside the row group and the
+/// panel broadcast is issued strip by strip) without an edge mask.
 fn overlap_active<'s>(
     overlap: Option<&'s OverlapSpec>,
     ctx: &RankCtx,
     topo: &Topology,
 ) -> Option<&'s OverlapSpec> {
     overlap.filter(|o| {
-        o.chunks > 1 && ctx.size() > 1 && topo.grid.r_a == ctx.size() && topo.mask.is_none()
+        overlap_inert_reason(o.chunks, ctx.size(), topo.grid.r_a, topo.mask.is_some()).is_none()
     })
 }
 
 /// Modeled per-chunk send-side communication seconds of this rank's share
-/// of a chunked redistribution of its `rows_l × cols_l` local block
-/// (split along columns for Row→Col, along rows for Col→Row). Send-side
-/// bytes are symmetric across ranks for balanced slicings, so this is the
-/// per-rank link time the device model would charge the blocking
-/// all-to-all, divided over the chunks exactly as the bytes are.
+/// of a chunked **group** redistribution of its `rows_l × cols_l` local
+/// block (split along columns for Row→Col, along rows for Col→Row) across
+/// the `g` members of its row group, plus — on the SpMM path under
+/// `R_A < P` — the per-strip panel-broadcast sends (`bcast_peers` copies
+/// of this rank's `bcast_rows × strip` tile strip). Send-side bytes are
+/// symmetric across ranks for balanced slicings, so this is the per-rank
+/// link time the device model would charge the blocking exchange, divided
+/// over the chunks exactly as the bytes are.
+#[allow(clippy::too_many_arguments)]
 fn chunk_comm_times(
     spec: &OverlapSpec,
-    ctx: &RankCtx,
+    g: usize,
+    my_idx: usize,
     rows_l: usize,
     cols_l: usize,
     split_cols: bool,
+    bcast_peers: usize,
+    bcast_rows: usize,
 ) -> Vec<f64> {
-    let p = ctx.size();
-    let me = ctx.rank();
     let (peer_dim, fixed) = if split_cols {
         (cols_l, rows_l)
     } else {
         (rows_l, cols_l)
     };
+    // My strip of the *destination* tile: what the panel broadcast ships.
+    let my_dim = part_range(peer_dim, g, my_idx).len();
     (0..spec.chunks)
         .map(|q| {
             let mut elems = 0usize;
-            for j in 0..p {
-                if j == me {
+            for j in 0..g {
+                if j == my_idx {
                     continue;
                 }
-                let peer = part_range(peer_dim, p, j);
+                let peer = part_range(peer_dim, g, j);
                 elems += part_range(peer.len(), spec.chunks, q).len() * fixed;
             }
-            spec.device.comm_time(elems as f64 * 4.0, (p - 1) as f64)
+            let mut t = spec.device.comm_time(elems as f64 * 4.0, (g - 1) as f64);
+            if bcast_peers > 0 {
+                let strip = part_range(my_dim, spec.chunks, q).len();
+                let b = bcast_peers * bcast_rows * strip;
+                t += spec.device.comm_time(b as f64 * 4.0, bcast_peers as f64);
+            }
+            t
         })
         .collect()
 }
@@ -146,27 +186,64 @@ fn spmm_via_col(
         &topo.panel
     };
     let row = cache.row.as_ref().expect("cache holds a layout").clone();
-    let comm_s = chunk_comm_times(spec, ctx, row.local.rows(), row.local.cols(), true);
+    let group = topo.grid.row_group(ctx.rank());
+    let col_group = topo.grid.col_group(ctx.rank());
+    let bcast_peers = col_group.len() - 1;
+    let comm_s = chunk_comm_times(
+        spec,
+        group.len(),
+        ctx.rank() % topo.grid.r_a,
+        row.local.rows(),
+        row.local.cols(),
+        true,
+        bcast_peers,
+        topo.tile_rows(ctx.rank()).len(),
+    );
     let mut comp_s = Vec::with_capacity(spec.chunks);
     let mut strips: Vec<Mat> = Vec::with_capacity(spec.chunks);
     let on_strip = |q: usize, strip: &Mat| {
-        strips.push(rdm_sparse::spmm(panel, strip));
-        let fma = panel.nnz() as f64 * strip.cols() as f64;
+        // Under `R_A < P` the strip is this rank's *tile* strip (panel
+        // rows × chunk of its column slice); assemble the full rows of
+        // those columns by broadcasting inside the column group (Fig. 6),
+        // strip by strip instead of once per product. Column groups share
+        // the grid column index, so their strip boundaries agree and the
+        // stacked strips equal the blocking assembly bitwise.
+        let full;
+        let slice: &Mat = if bcast_peers == 0 {
+            strip
+        } else {
+            let mut parts: Vec<Mat> = Vec::with_capacity(col_group.len());
+            for &root in &col_group {
+                let payload = (root == ctx.rank()).then(|| strip.clone());
+                parts.push(ctx.group_broadcast(
+                    &col_group,
+                    root,
+                    payload,
+                    CollectiveKind::Broadcast,
+                ));
+            }
+            full = vstack(&parts);
+            &full
+        };
+        strips.push(rdm_sparse::spmm(panel, slice));
+        let fma = panel.nnz() as f64 * slice.cols() as f64;
         ops.spmm_fma += fma;
         comp_s.push(spec.device.compute_time(fma, 0.0));
         record_strip(spec, q, &comm_s, &comp_s);
     };
     let col = if topo.sparse {
-        row.redistribute_overlapped_sparse(
+        row.redistribute_overlapped_grouped_sparse(
             ctx,
+            &group,
             Dist::Col,
             CollectiveKind::Redistribute,
             spec.chunks,
             on_strip,
         )
     } else {
-        row.redistribute_overlapped(
+        row.redistribute_overlapped_grouped(
             ctx,
+            &group,
             Dist::Col,
             CollectiveKind::Redistribute,
             spec.chunks,
@@ -243,7 +320,17 @@ fn gemm_via_row(
         }
     };
     let col = cache.col.as_ref().expect("cache holds a layout").clone();
-    let comm_s = chunk_comm_times(spec, ctx, col.local.rows(), col.local.cols(), false);
+    let group = topo.grid.row_group(ctx.rank());
+    let comm_s = chunk_comm_times(
+        spec,
+        group.len(),
+        ctx.rank() % topo.grid.r_a,
+        col.local.rows(),
+        col.local.cols(),
+        false,
+        0,
+        0,
+    );
     let mut comp_s = Vec::with_capacity(spec.chunks);
     let mut strips: Vec<Mat> = Vec::with_capacity(spec.chunks);
     let on_strip = |q: usize, strip: &Mat| {
@@ -258,16 +345,18 @@ fn gemm_via_row(
         record_strip(spec, q, &comm_s, &comp_s);
     };
     let row = if topo.sparse {
-        col.redistribute_overlapped_sparse(
+        col.redistribute_overlapped_grouped_sparse(
             ctx,
+            &group,
             Dist::Row,
             CollectiveKind::Redistribute,
             spec.chunks,
             on_strip,
         )
     } else {
-        col.redistribute_overlapped(
+        col.redistribute_overlapped_grouped(
             ctx,
+            &group,
             Dist::Row,
             CollectiveKind::Redistribute,
             spec.chunks,
@@ -1376,6 +1465,137 @@ mod tests {
             }
             let hidden: u64 = overlapped.stats.iter().map(|s| s.overlap_ns).sum();
             assert!(hidden > 0, "id {id} hid no communication time");
+        }
+    }
+
+    /// One reason per gate in [`overlap_active`], in precedence order —
+    /// the report strings reports print must track the gate exactly.
+    #[test]
+    fn overlap_inert_reasons_cover_every_gate() {
+        assert_eq!(overlap_inert_reason(1, 4, 4, false), Some("chunks < 2"));
+        assert_eq!(overlap_inert_reason(4, 1, 1, false), Some("single rank"));
+        assert_eq!(overlap_inert_reason(4, 4, 4, true), Some("edge mask"));
+        let ra1 = overlap_inert_reason(4, 4, 1, false).expect("r_a = 1 must be inert");
+        assert!(ra1.contains("r_a = 1"), "got {ra1:?}");
+        assert_eq!(overlap_inert_reason(4, 4, 2, false), None);
+        assert_eq!(overlap_inert_reason(4, 4, 4, false), None);
+    }
+
+    /// Replicated-panel parity: at `R_A < P` the pipelined engine (dense
+    /// or sparse wire) must match the blocking dense engine bitwise —
+    /// loss, gradients, G⁰, FMA counters — with identical
+    /// dense-equivalent Redistribute *and* Broadcast books, and still
+    /// hide communication time when a redistribution group exists
+    /// (`r_a > 1`). At `r_a = 1` the overlap request is inert and must
+    /// record nothing.
+    #[test]
+    fn overlapped_engine_is_bitwise_blocking_at_ra_lt_p() {
+        let ds = toy(57, 13);
+        let p = 4;
+        let feats_dims = vec![16usize, 8, 4];
+        let weights = GcnWeights::init(&feats_dims, 21);
+        for id in [0usize, 5, 10, 15] {
+            for r_a in [1usize, 2] {
+                let plan = Plan::from_id(id, 2, p).with_ra(r_a);
+                let mut runs = Vec::new();
+                for (chunks, sparse) in [(None, false), (Some(3usize), false), (Some(3), true)] {
+                    let plan = plan.clone();
+                    let (adj, feats, w2, labels) = (
+                        ds.adj_norm.clone(),
+                        ds.features.clone(),
+                        weights.clone(),
+                        ds.labels.clone(),
+                    );
+                    let fd = feats_dims.clone();
+                    let out = Cluster::new(p).run(move |ctx| {
+                        let spec = chunks.map(OverlapSpec::new);
+                        let mut topo = Topology::new(&adj, r_a, ctx);
+                        topo.set_sparse(sparse);
+                        let mut ops = OpCounters::default();
+                        let input = input_cache(&feats, &topo, ctx);
+                        let mut art = rdm_forward_with(
+                            ctx,
+                            &topo,
+                            input,
+                            &w2,
+                            &plan,
+                            spec.as_ref(),
+                            &mut ops,
+                        );
+                        let logits = art.logits_row(&topo, ctx);
+                        let mask = vec![true; labels.len()];
+                        let lspec = LossSpec {
+                            labels: &labels,
+                            mask: &mask,
+                            num_classes: 4,
+                        };
+                        let (loss, lgrad) = softmax_xent(&logits, &lspec, ctx);
+                        let back = rdm_backward_with(
+                            ctx,
+                            &topo,
+                            &mut art,
+                            &w2,
+                            &plan,
+                            lgrad,
+                            &fd,
+                            spec.as_ref(),
+                            &mut ops,
+                        );
+                        let g0 = match back.g0.dist {
+                            Dist::Row => back.g0.gather(ctx, CollectiveKind::Other),
+                            Dist::Col => topo.gather_tile(&back.g0, ctx, CollectiveKind::Other),
+                            Dist::Replicated => unreachable!(),
+                        };
+                        (loss, back.weight_grads, g0, ops)
+                    });
+                    runs.push(out);
+                }
+                let blocking = &runs[0];
+                for (which, run) in runs.iter().enumerate().skip(1) {
+                    for (b, o) in blocking.results.iter().zip(&run.results) {
+                        assert_eq!(
+                            b.0.to_bits(),
+                            o.0.to_bits(),
+                            "id {id} r_a {r_a} run {which} loss drifted"
+                        );
+                        for (l, (gb, go)) in b.1.iter().zip(&o.1).enumerate() {
+                            assert_eq!(
+                                gb.as_slice(),
+                                go.as_slice(),
+                                "id {id} r_a {r_a} run {which} grad layer {}",
+                                l + 1
+                            );
+                        }
+                        assert_eq!(
+                            b.2.as_slice(),
+                            o.2.as_slice(),
+                            "id {id} r_a {r_a} run {which} g0 drifted"
+                        );
+                        assert_eq!(b.3, o.3, "id {id} r_a {r_a} run {which} FMA drifted");
+                    }
+                    for (sb, so) in blocking.stats.iter().zip(&run.stats) {
+                        for kind in [CollectiveKind::Redistribute, CollectiveKind::Broadcast] {
+                            assert_eq!(
+                                sb.dense_bytes(kind),
+                                so.dense_bytes(kind),
+                                "id {id} r_a {r_a} run {which} {kind:?} book drifted"
+                            );
+                        }
+                        // Broadcasts always ride the dense wire.
+                        assert_eq!(
+                            sb.bytes(CollectiveKind::Broadcast),
+                            so.bytes(CollectiveKind::Broadcast),
+                            "id {id} r_a {r_a} run {which} broadcast bytes drifted"
+                        );
+                    }
+                    let hidden: u64 = run.stats.iter().map(|s| s.overlap_ns).sum();
+                    if r_a > 1 {
+                        assert!(hidden > 0, "id {id} r_a {r_a} hid no communication time");
+                    } else {
+                        assert_eq!(hidden, 0, "id {id} r_a 1 must leave overlap inert");
+                    }
+                }
+            }
         }
     }
 }

@@ -23,8 +23,9 @@ use rdm_sparse::Csr;
 ///
 /// `sparse` routes redistributions through the sparsity-aware
 /// indexed-strip wire format; results are bit-identical to the dense path.
-/// The plan must use full adjacency replication (`r_a == p`), which is
-/// how every serving topology is built.
+/// The plan's replication factor must divide `p`; `r_a < p` serves from a
+/// replicated-panel topology (Fig. 6) — group redistributions plus dense
+/// panel broadcasts — with logits still row-sliced `P` ways.
 pub fn forward_logits(
     ctx: &RankCtx,
     adj_norm: &Csr,
@@ -46,6 +47,11 @@ pub fn forward_logits(
 /// cache supplied, layer 1 runs the thinned cached exchange and the batch
 /// is admitted afterwards; the returned [`AdmitOutcome`] carries its
 /// hit/miss accounting. Both knobs preserve bitwise-identical logits.
+///
+/// The aggregation cache indexes rows of the fully replicated adjacency,
+/// so `cache` requires `plan.r_a == p`; callers serving a replicated-panel
+/// plan must leave it `None` (the serve engine rejects the combination
+/// before a session starts).
 #[allow(clippy::too_many_arguments)]
 pub fn forward_logits_with(
     ctx: &RankCtx,
@@ -58,12 +64,19 @@ pub fn forward_logits_with(
     cache: Option<(&mut AggCache, &[u32])>,
     ops: &mut OpCounters,
 ) -> (DistMat, Option<AdmitOutcome>) {
-    assert_eq!(
+    assert!(
+        plan.r_a >= 1 && ctx.size().is_multiple_of(plan.r_a),
+        "plan r_a {} must divide P = {}",
         plan.r_a,
-        ctx.size(),
-        "serving topologies replicate the adjacency fully"
+        ctx.size()
     );
-    let mut topo = Topology::full(adj_norm, ctx);
+    assert!(
+        cache.is_none() || plan.r_a == ctx.size(),
+        "the aggregation cache requires full adjacency replication (r_a {} != P {})",
+        plan.r_a,
+        ctx.size()
+    );
+    let mut topo = Topology::new(adj_norm, plan.r_a, ctx);
     topo.set_sparse(sparse);
     let input = input_cache(features, &topo, ctx);
     let (mut art, outcome) = match cache {
@@ -176,6 +189,48 @@ mod tests {
             bytes(&cached),
             bytes(&base)
         );
+    }
+
+    /// Forward-only serving from a replicated-panel plan (`r_a < p`) must
+    /// produce bitwise-identical logits to the fully replicated topology,
+    /// across the dense wire, the sparse wire and the overlapped engine.
+    #[test]
+    fn replicated_panel_forward_is_bitwise_full_replication() {
+        let ds = toy(52, 6);
+        let snap = WeightSnapshot::from_weights(&GcnWeights::init(&[16, 8, 4], 11));
+        let p = 4;
+        let run = |r_a: usize, sparse: bool, overlap: Option<usize>| {
+            let (adj, feats) = (ds.adj_norm.clone(), ds.features.clone());
+            let w = snap.to_weights();
+            Cluster::new(p).run(move |ctx| {
+                let plan = Plan::from_id(10, 2, ctx.size()).with_ra(r_a);
+                let spec = overlap.map(OverlapSpec::new);
+                let mut ops = OpCounters::default();
+                let (logits, _) = forward_logits_with(
+                    ctx,
+                    &adj,
+                    &feats,
+                    &w,
+                    &plan,
+                    sparse,
+                    spec.as_ref(),
+                    None,
+                    &mut ops,
+                );
+                logits.gather(ctx, CollectiveKind::Other)
+            })
+        };
+        let base = run(p, false, None);
+        for r_a in [1, 2] {
+            for (sparse, overlap) in [(false, None), (true, None), (true, Some(3))] {
+                let got = run(r_a, sparse, overlap);
+                assert_eq!(
+                    base.results[0].as_slice(),
+                    got.results[0].as_slice(),
+                    "r_a={r_a} sparse={sparse} overlap={overlap:?} logits drifted"
+                );
+            }
+        }
     }
 
     #[test]

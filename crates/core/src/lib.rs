@@ -42,8 +42,8 @@ pub mod trainer;
 
 pub use aggcache::AggCache;
 pub use dist::{Dist, DistMat, RedistError};
-pub use gcn::OverlapSpec;
+pub use gcn::{overlap_inert_reason, OverlapSpec};
 pub use metrics::{EpochMetrics, TrainReport};
-pub use plan::{best_plan, LayerOrder, Plan};
+pub use plan::{best_plan, best_plan_with_ra_sparsity, LayerOrder, Plan};
 pub use snapshot::WeightSnapshot;
 pub use trainer::{train_gcn, Algo, TrainerConfig};

@@ -190,6 +190,12 @@ pub struct TrainReport {
     /// with [`WeightSnapshot::save`](crate::snapshot::WeightSnapshot) and
     /// servable with `rdm-serve`.
     pub weights: Option<crate::snapshot::WeightSnapshot>,
+    /// Why a requested pipelined-redistribution overlap stayed inert for
+    /// the whole run (`None` when overlap ran, or was never requested).
+    /// The engine silently falls back to the blocking path when its gate
+    /// fails — this field makes that fallback visible in reports instead
+    /// of masquerading as "overlap hid 0 ms".
+    pub overlap_inert: Option<&'static str>,
 }
 
 impl TrainReport {
@@ -262,6 +268,12 @@ impl TrainReport {
     pub fn total_overlap_ns(&self) -> u64 {
         self.epochs.iter().map(|e| e.overlap_ns()).sum()
     }
+
+    /// Why a requested overlap stayed inert, or `None` when it ran (or
+    /// was not requested). See [`TrainReport::overlap_inert`].
+    pub fn overlap_inert_reason(&self) -> Option<&'static str> {
+        self.overlap_inert
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +325,7 @@ mod tests {
             epochs: vec![e1, e2],
             traces: None,
             weights: None,
+            overlap_inert: None,
         };
         assert!((r.mean_wall_epoch_s() - 0.015).abs() < 1e-9);
         assert_eq!(r.mean_bytes_per_epoch(), 200.0);

@@ -78,22 +78,44 @@ pub fn best_plan_with(shape: &GnnShape, p: usize, device: &DeviceModel) -> Plan 
 /// device-model ranking sees cheaper communication and can shift toward
 /// compute-lighter candidates.
 ///
-/// The full selection rule, shared with `rdm-train --ra`:
-///
-/// * the returned plan always uses full replication (`r_a = p`); an
-///   explicit replication factor is applied afterwards with
-///   [`Plan::with_ra`], and **`r_a` must divide `P`** — the trainer
-///   rejects any plan where it does not;
-/// * `sigma` re-prices **redistribution volume only** — SpMM/GEMM op
-///   counts, and therefore the compute side of the ranking, are
-///   unchanged by sparsity.
+/// `sigma` re-prices **redistribution volume only** — SpMM/GEMM op
+/// counts (and panel broadcasts under `R_A < P`, which ride the dense
+/// wire), and therefore the compute side of the ranking, are unchanged
+/// by sparsity.
 pub fn best_plan_with_sparsity(
     shape: &GnnShape,
     p: usize,
     device: &DeviceModel,
     sigma: f64,
 ) -> Plan {
-    let candidates = rdm_model::pareto_configs_with_sparsity(shape, p, p, sigma);
+    best_plan_with_ra_sparsity(shape, p, p, device, sigma)
+}
+
+/// Pick the best ordering **at a fixed replication factor**: candidates
+/// are priced by `config_cost(shape, cfg, p, r_a)` (sigma-repriced), so
+/// the `r_a`-dependent group-redistribution and panel-broadcast terms
+/// participate in both the Pareto cut and the device-model ranking. This
+/// is the selection rule behind `rdm-train --ra <r>` with auto ordering:
+/// the replication factor changes the comm/compute trade-off (group
+/// redistributions shrink to `(R_A-1)/R_A` while dense panel broadcasts
+/// appear), so the best Table-IV ID at `r_a < p` can differ from the one
+/// at full replication — bolting `r_a` onto a full-replication pick
+/// misprices the plan.
+///
+/// # Panics
+/// If `r_a` does not divide `p`.
+pub fn best_plan_with_ra_sparsity(
+    shape: &GnnShape,
+    p: usize,
+    r_a: usize,
+    device: &DeviceModel,
+    sigma: f64,
+) -> Plan {
+    assert!(
+        r_a >= 1 && r_a <= p && p.is_multiple_of(r_a),
+        "R_A = {r_a} must divide P = {p}"
+    );
+    let candidates = rdm_model::pareto_configs_with_sparsity(shape, p, r_a, sigma);
     let best = candidates
         .into_iter()
         .min_by(|(_, a), (_, b)| {
@@ -105,7 +127,7 @@ pub fn best_plan_with_sparsity(
         .0;
     Plan {
         config: best,
-        r_a: p,
+        r_a,
         memoize: true,
     }
 }
@@ -164,5 +186,65 @@ mod tests {
         let plan = best_plan(&shape, 4);
         assert_eq!(plan.config.layers(), 3);
         assert!(plan.id() < 64);
+    }
+}
+
+#[cfg(test)]
+mod ra_selection_tests {
+    use super::*;
+
+    /// Headline regression for the `--ra` mispricing bug: on this shape
+    /// (the RMAT bench graph with a 16-wide hidden layer) the model's best
+    /// ordering at full replication is ID 10, but at `r_a = 2` the group
+    /// redistributions shrink while dense panel broadcasts appear and the
+    /// best ordering becomes ID 3. Selecting at `r_a = p` and bolting
+    /// `.with_ra(2)` on afterwards would silently train the mispriced
+    /// plan 10.
+    #[test]
+    fn replication_factor_changes_the_chosen_plan() {
+        let device = DeviceModel::a6000_pcie();
+        let shape = GnnShape::gcn(2048, 8192, 32, 16, 8, 2);
+        let full = best_plan_with_ra_sparsity(&shape, 4, 4, &device, 1.0);
+        let half = best_plan_with_ra_sparsity(&shape, 4, 2, &device, 1.0);
+        assert_eq!(full.id(), 10, "full-replication pick moved");
+        assert_eq!(half.id(), 3, "r_a = 2 pick moved");
+        assert_ne!(
+            full.id(),
+            half.id(),
+            "shape no longer separates r_a = P from r_a = 2 pricing"
+        );
+        assert_eq!(half.r_a, 2, "selection must carry the replication factor");
+    }
+
+    /// Sigma repricing composes with `r_a`: on this tall skinny shape the
+    /// dense full-replication pick is ID 10, but halving the expected row
+    /// occupancy flips it to ID 3 — while the `r_a = 2` pick is ID 3
+    /// under both pricings (its broadcast share stays dense).
+    #[test]
+    fn sigma_repricing_composes_with_replication_factor() {
+        let device = DeviceModel::a6000_pcie();
+        let shape = GnnShape::gcn(50_000, 500_000, 512, 8, 4, 2);
+        assert_eq!(
+            best_plan_with_ra_sparsity(&shape, 4, 4, &device, 1.0).id(),
+            10
+        );
+        assert_eq!(
+            best_plan_with_ra_sparsity(&shape, 4, 4, &device, 0.5).id(),
+            3
+        );
+        for sigma in [1.0, 0.5] {
+            assert_eq!(
+                best_plan_with_ra_sparsity(&shape, 4, 2, &device, sigma).id(),
+                3,
+                "sigma={sigma}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_replication_factor_is_rejected() {
+        let shape = GnnShape::gcn(2048, 8192, 32, 16, 8, 2);
+        best_plan_with_ra_sparsity(&shape, 4, 3, &DeviceModel::a6000_pcie(), 1.0);
     }
 }

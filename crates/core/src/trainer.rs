@@ -9,7 +9,7 @@ use crate::gcn::{rdm_backward_with, rdm_forward_with, GcnWeights, OverlapSpec};
 use crate::loss::{accuracy, softmax_xent, LossSpec};
 use crate::metrics::{EpochMetrics, RankEpoch, TrainReport};
 use crate::ops::{OpCounters, Topology};
-use crate::plan::{best_plan, Plan};
+use crate::plan::Plan;
 use crate::saint::{SaintDdpTrainer, SaintMaskedTrainer, SaintRdmTrainer};
 use rdm_comm::{Cluster, CollectiveKind, FaultPlan, RankCtx};
 use rdm_dense::kernels::{self, Mode as KernelMode};
@@ -67,6 +67,15 @@ pub struct TrainerConfig {
     /// bytes are bit-identical to blocking, and the hidden communication
     /// time lands in [`EpochMetrics::overlap_ns`].
     pub overlap: Option<usize>,
+    /// Adjacency replication factor for *model-selected* RDM plans
+    /// (`Algo::Rdm { plan: None }` and `Algo::RdmDynamic`): `Some(r)`
+    /// prices every candidate ordering at `config_cost(shape, cfg, p, r)`
+    /// — the group-redistribution and panel-broadcast terms participate
+    /// in the selection — and the chosen plan carries `r_a = r`. `None`
+    /// selects at full replication. Must divide `P`. An explicit plan's
+    /// own `r_a` always wins; setting both to different values is an
+    /// error.
+    pub ra: Option<usize>,
     /// Record a per-rank structured event trace of the run into
     /// [`TrainReport::traces`]. Off by default; when off, no trace code
     /// runs beyond a thread-local check, so results, payload counters and
@@ -150,6 +159,7 @@ impl TrainerConfig {
             device: DeviceModel::a6000_pcie(),
             fault_plan: None,
             overlap: None,
+            ra: None,
             trace: false,
             sparse: false,
             kernels: KernelMode::Scalar,
@@ -191,6 +201,13 @@ impl TrainerConfig {
     /// with the downstream kernel.
     pub fn overlap(mut self, chunks: usize) -> Self {
         self.overlap = Some(chunks);
+        self
+    }
+
+    /// Select model-driven RDM plans at adjacency replication factor `r`
+    /// instead of full replication (see [`TrainerConfig::ra`]).
+    pub fn ra(mut self, r: usize) -> Self {
+        self.ra = Some(r);
         self
     }
 
@@ -308,7 +325,9 @@ impl RdmState {
                     nnz: ds.adj_norm.nnz(),
                     feats: feats.clone(),
                 };
-                let candidates: Vec<_> = rdm_model::pareto_configs(&shape, cfg.p, cfg.p)
+                // Candidates are priced at the replication factor the
+                // trials will actually execute with.
+                let candidates: Vec<_> = rdm_model::pareto_configs(&shape, cfg.p, plan.r_a)
                     .into_iter()
                     .map(|(c, _)| c)
                     .collect();
@@ -481,6 +500,19 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
                 pl.r_a, cfg.p
             ));
         }
+        if let Some(r) = cfg.ra {
+            if r != pl.r_a {
+                return Err(format!(
+                    "explicit plan has r_a={} but the config asks for r_a={r}",
+                    pl.r_a
+                ));
+            }
+        }
+    }
+    if let Some(r) = cfg.ra {
+        if r == 0 || !cfg.p.is_multiple_of(r) {
+            return Err(format!("replication factor {r} must divide P={}", cfg.p));
+        }
     }
     let shape = GnnShape::gcn(
         ds.n(),
@@ -492,16 +524,42 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
     );
     let resolved_plan = match &cfg.algo {
         Algo::Rdm { plan: Some(pl) } => Some(pl.clone()),
-        Algo::Rdm { plan: None } | Algo::RdmDynamic { .. } => Some(if cfg.sparse {
+        Algo::Rdm { plan: None } | Algo::RdmDynamic { .. } => {
             // Sparse wire path: re-price candidate communication by the
             // fraction of adjacency rows that aggregate anything at all.
-            let sigma = 1.0 - ds.adj_norm.empty_row_fraction();
-            crate::plan::best_plan_with_sparsity(&shape, cfg.p, &cfg.device, sigma)
-        } else {
-            best_plan(&shape, cfg.p)
-        }),
+            // An explicit replication factor joins the pricing here —
+            // the group-redistribution/panel-broadcast trade-off can
+            // change which ordering wins, so `r_a` is never bolted onto
+            // a full-replication pick.
+            let sigma = if cfg.sparse {
+                1.0 - ds.adj_norm.empty_row_fraction()
+            } else {
+                1.0
+            };
+            Some(crate::plan::best_plan_with_ra_sparsity(
+                &shape,
+                cfg.p,
+                cfg.ra.unwrap_or(cfg.p),
+                &cfg.device,
+                sigma,
+            ))
+        }
         _ => None,
     };
+
+    // A requested overlap the engine's gate would silently drop is
+    // surfaced in the report instead of reading as "hid 0 ms".
+    let overlap_inert = cfg.overlap.and_then(|chunks| match &cfg.algo {
+        Algo::Rdm { .. } => crate::gcn::overlap_inert_reason(
+            chunks,
+            cfg.p,
+            resolved_plan.as_ref().map_or(cfg.p, |pl| pl.r_a),
+            false,
+        ),
+        Algo::RdmDynamic { .. } => Some("dynamic selection runs the blocking path"),
+        Algo::SaintMasked { .. } => Some("edge mask"),
+        _ => Some("non-RDM algorithm"),
+    });
 
     let mut cluster = match cfg.fault_plan {
         Some(plan) => Cluster::with_faults(cfg.p, plan),
@@ -660,6 +718,7 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
         epochs,
         traces: out.traces,
         weights: per_rank[0].1.take(),
+        overlap_inert,
     })
 }
 
@@ -667,6 +726,56 @@ pub fn train_gcn(ds: &Dataset, cfg: &TrainerConfig) -> Result<TrainReport, Strin
 mod tests {
     use super::*;
     use rdm_graph::dataset::toy;
+
+    /// Every overlap gate reason must surface in the report instead of a
+    /// silent blocking fallback, and an active `r_a < P` overlap must
+    /// report no reason while actually hiding time.
+    #[test]
+    fn requested_overlap_surfaces_inert_reason() {
+        let ds = toy(60, 3);
+        let base = || TrainerConfig::rdm_auto(4).epochs(1).hidden(8);
+        let r = train_gcn(
+            &ds,
+            &TrainerConfig::rdm_auto(1).epochs(1).hidden(8).overlap(4),
+        )
+        .unwrap();
+        assert_eq!(r.overlap_inert_reason(), Some("single rank"));
+        let r = train_gcn(&ds, &base().overlap(1)).unwrap();
+        assert_eq!(r.overlap_inert_reason(), Some("chunks < 2"));
+        let r = train_gcn(&ds, &base().overlap(4).ra(1)).unwrap();
+        let reason = r.overlap_inert_reason().expect("r_a = 1 must be inert");
+        assert!(reason.contains("r_a = 1"), "got {reason:?}");
+        let r = train_gcn(
+            &ds,
+            &TrainerConfig::saint_masked(4, 0.5)
+                .epochs(1)
+                .hidden(8)
+                .overlap(4),
+        )
+        .unwrap();
+        assert_eq!(r.overlap_inert_reason(), Some("edge mask"));
+        // No overlap requested → no reason, even where one would apply.
+        let r = train_gcn(&ds, &TrainerConfig::rdm_auto(1).epochs(1).hidden(8)).unwrap();
+        assert_eq!(r.overlap_inert_reason(), None);
+        // Replicated panels pipeline for real now.
+        let r = train_gcn(&ds, &base().overlap(4).ra(2)).unwrap();
+        assert_eq!(r.overlap_inert_reason(), None);
+        assert!(r.total_overlap_ns() > 0, "r_a = 2 overlap must hide time");
+    }
+
+    /// An explicit plan and a conflicting config replication factor is a
+    /// configuration error, not a silent override.
+    #[test]
+    fn conflicting_explicit_plan_and_config_ra_error() {
+        let ds = toy(60, 3);
+        let plan = Plan::from_id(5, 2, 4).with_ra(4);
+        let cfg = TrainerConfig::rdm(4, plan).epochs(1).hidden(8).ra(2);
+        let err = train_gcn(&ds, &cfg).unwrap_err();
+        assert!(err.contains("r_a"), "got {err}");
+        let cfg = TrainerConfig::rdm_auto(4).epochs(1).hidden(8).ra(3);
+        let err = train_gcn(&ds, &cfg).unwrap_err();
+        assert!(err.contains("divide"), "got {err}");
+    }
 
     #[test]
     fn rdm_full_batch_trains_to_high_accuracy() {

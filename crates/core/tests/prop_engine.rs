@@ -154,6 +154,53 @@ proptest! {
         }
     }
 
+    /// The `P/R_A × R_A` grid algebra: row groups partition the ranks
+    /// into contiguous panels, column groups stride across panels, the
+    /// two intersect in exactly this rank, and the panel row ranges tile
+    /// `[0, n)` in agreement with the global per-rank slicing.
+    #[test]
+    fn panel_grid_partitions_ranks_and_rows(
+        (p, r_a) in grid_strategy(),
+        n in 1usize..60,
+    ) {
+        use rdm_core::ops::PanelGrid;
+        let grid = PanelGrid::new(p, r_a);
+        prop_assert_eq!(grid.panels() * r_a, p);
+        for rank in 0..p {
+            let rg = grid.row_group(rank);
+            let cg = grid.col_group(rank);
+            prop_assert_eq!(rg.len(), r_a);
+            prop_assert_eq!(cg.len(), grid.panels());
+            // Every row-group member shares the panel and the group.
+            for &m in &rg {
+                prop_assert_eq!(grid.panel_of(m), grid.panel_of(rank));
+                prop_assert_eq!(grid.row_group(m), rg.clone());
+            }
+            // Column groups hold one member per panel, at this rank's
+            // group position.
+            for (i, &m) in cg.iter().enumerate() {
+                prop_assert_eq!(grid.panel_of(m), i);
+                prop_assert_eq!(m % r_a, rank % r_a);
+            }
+            let both: Vec<usize> =
+                rg.iter().copied().filter(|m| cg.contains(m)).collect();
+            prop_assert_eq!(both, vec![rank]);
+        }
+        // Panel row ranges are contiguous, tile [0, n), and agree with
+        // the union of their members' balanced slices.
+        let mut next = 0usize;
+        for panel in 0..grid.panels() {
+            let r = grid.panel_rows(n, panel);
+            prop_assert_eq!(r.start, next);
+            let member_rows: usize = (panel * r_a..(panel + 1) * r_a)
+                .map(|rk| rdm_dense::part_range(n, p, rk).len())
+                .sum();
+            prop_assert_eq!(r.end - r.start, member_rows);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
     /// Tile→row→tile conversions restore the original tile exactly.
     #[test]
     fn tile_row_conversions_roundtrip(

@@ -10,12 +10,24 @@
 //! the same event vocabulary, and [`check_run`] diffs the two, reporting
 //! every mismatch with its rank, epoch and event index.
 //!
-//! Scope: the predictor covers the full-replication regime the paper's
-//! Table IV prices (`R_A = P`, no edge mask, symmetric or asymmetric
-//! adjacency — panel shapes are identical either way). Traffic the
-//! schedule does not price (loss/accuracy scalar all-reduces, dynamic
-//! selection) appears in traces as bare `Collective` events outside any
-//! span and is ignored by the extractor.
+//! Scope: the predictor covers every replication factor the engine
+//! executes — `R_A` dividing `P`, no edge mask, symmetric adjacency (the
+//! backward pass then aggregates with the same panels the forward pass
+//! uses, so one per-panel nonzero count prices both). At `R_A < P`
+//! redistributions are group-scoped (priced by the replicated-panel
+//! geometry of Fig. 6) and every panel SpMM carries the column group's
+//! dense tile broadcast, which the extractor books as one
+//! [`SchedEvent::Broadcast`] at the kernel span's close — whether the
+//! sends happened inside the kernel span (blocking `panel_spmm`) or
+//! inside the preceding redistribution span (the overlapped engine's
+//! strip-by-strip sink) — so blocking and pipelined runs still extract to
+//! identical schedules. Traffic the schedule does not price
+//! (loss/accuracy scalar all-reduces, dynamic selection) appears in
+//! traces as bare `Collective` events outside any span and is ignored by
+//! the extractor. [`predict_epoch`] keeps the full-replication signature;
+//! [`predict_epoch_ra`] takes `(p, r_a)` plus the per-panel adjacency
+//! nonzero counts and errors on inputs outside its scope instead of
+//! silently assuming full replication.
 //!
 //! The extractor is insensitive to pipelining: the chunk-pipelined
 //! redistribution path opens the same `Redistribute` span (with its
@@ -48,12 +60,17 @@ pub enum SchedEvent {
         kind: TraceCollective,
         bytes: u64,
     },
-    /// A distributed SpMM over the full adjacency panel.
+    /// A distributed SpMM over this rank's adjacency panel (the whole
+    /// adjacency at `R_A = P`).
     Spmm {
         rows: usize,
         cols: usize,
         nnz: usize,
     },
+    /// The column group's dense tile broadcast carried by one panel SpMM
+    /// (`R_A < P` only); `bytes` is this rank's send-side volume of its
+    /// own tile to the `P/R_A - 1` other panels.
+    Broadcast { bytes: u64 },
     /// A distributed GEMM (`m×k · k×n`).
     Gemm { m: usize, n: usize, k: usize },
     /// A weight-gradient ring all-reduce; `bytes` is this rank's
@@ -79,6 +96,7 @@ impl fmt::Display for SchedEvent {
             SchedEvent::Spmm { rows, cols, nnz } => {
                 write!(f, "spmm {rows}x{cols} nnz={nnz}")
             }
+            SchedEvent::Broadcast { bytes } => write!(f, "broadcast {bytes}B"),
             SchedEvent::Gemm { m, n, k } => write!(f, "gemm {m}x{k}.{k}x{n}"),
             SchedEvent::AllReduce { bytes } => write!(f, "allreduce {bytes}B"),
         }
@@ -151,20 +169,55 @@ impl SymCache {
 pub(crate) struct Predictor<'a> {
     shape: &'a GnnShape,
     p: usize,
+    /// Adjacency replication factor (`p` = full replication).
+    r_a: usize,
     rank: usize,
+    /// Nonzeros of each row panel of the adjacency, indexed by panel
+    /// (`[shape.nnz]` at full replication). Data-dependent, so callers
+    /// supply it from the actual partitioned graph.
+    panel_nnz: Vec<usize>,
     events: Vec<SchedEvent>,
 }
 
 impl<'a> Predictor<'a> {
-    /// A fresh symbolic engine for rank `rank` of `p` on `shape`.
-    pub(crate) fn new(shape: &'a GnnShape, p: usize, rank: usize) -> Self {
-        assert!(rank < p, "rank {rank} out of range for P={p}");
-        Predictor {
+    /// A symbolic engine for the replicated-panel regime: rank `rank` of
+    /// the `p/r_a × r_a` grid, with `panel_nnz[k]` the nonzero count of
+    /// panel `k`'s row slice of the adjacency.
+    pub(crate) fn with_ra(
+        shape: &'a GnnShape,
+        p: usize,
+        r_a: usize,
+        rank: usize,
+        panel_nnz: &[usize],
+    ) -> Result<Self, String> {
+        if rank >= p {
+            return Err(format!("rank {rank} out of range for P={p}"));
+        }
+        if r_a == 0 || !p.is_multiple_of(r_a) {
+            return Err(format!("replication factor {r_a} must divide P = {p}"));
+        }
+        if panel_nnz.len() != p / r_a {
+            return Err(format!(
+                "got {} panel nonzero counts for {} panels",
+                panel_nnz.len(),
+                p / r_a
+            ));
+        }
+        if panel_nnz.iter().sum::<usize>() != shape.nnz {
+            return Err(format!(
+                "panel nonzeros sum to {}, shape has {}",
+                panel_nnz.iter().sum::<usize>(),
+                shape.nnz
+            ));
+        }
+        Ok(Predictor {
             shape,
             p,
+            r_a,
             rank,
+            panel_nnz: panel_nnz.to_vec(),
             events: Vec::new(),
-        }
+        })
     }
 
     /// Consume the engine, yielding the events it emitted.
@@ -179,21 +232,38 @@ impl Predictor<'_> {
         part_len(self.shape.n, self.p, self.rank)
     }
 
-    /// Columns of this rank's column slice of a width-`f` matrix.
-    fn cols_r(&self, f: usize) -> usize {
-        part_len(f, self.p, self.rank)
+    /// Columns of this rank's tile slice of a width-`f` matrix: the
+    /// `f`-axis is partitioned over the `r_a` members of its row group
+    /// (over all `p` ranks at full replication).
+    fn tile_cols(&self, f: usize) -> usize {
+        part_len(f, self.r_a, self.rank % self.r_a)
     }
 
-    /// Send-side bytes of a Row→Col redistribution of an `n × f` matrix:
-    /// this rank ships every column it does not keep from its row slice.
+    /// Number of row panels of the grid (1 at full replication).
+    fn panels(&self) -> usize {
+        self.p / self.r_a
+    }
+
+    /// Rows of this rank's adjacency panel: the union of its row group's
+    /// row slices (`n` at full replication).
+    fn panel_len(&self) -> usize {
+        let first = (self.rank / self.r_a) * self.r_a;
+        (first..first + self.r_a)
+            .map(|r| part_len(self.shape.n, self.p, r))
+            .sum()
+    }
+
+    /// Send-side bytes of a Row→Col (row slice → tile) redistribution of
+    /// an `n × f` matrix: this rank ships every column it does not keep
+    /// from its row slice to its row-group peers.
     fn row_to_col_bytes(&self, f: usize) -> u64 {
-        (self.rows_r() * (f - self.cols_r(f)) * 4) as u64
+        (self.rows_r() * (f - self.tile_cols(f)) * 4) as u64
     }
 
-    /// Send-side bytes of a Col→Row redistribution: every row it does not
-    /// keep from its column slice.
+    /// Send-side bytes of a Col→Row (tile → row slice) redistribution:
+    /// every panel row it does not keep from its tile.
     fn col_to_row_bytes(&self, f: usize) -> u64 {
-        ((self.shape.n - self.rows_r()) * self.cols_r(f) * 4) as u64
+        ((self.panel_len() - self.rows_r()) * self.tile_cols(f) * 4) as u64
     }
 
     /// Send-side bytes of the ring all-reduce of an `rows × cols` matrix:
@@ -248,13 +318,19 @@ impl Predictor<'_> {
 
     /// One panel SpMM on a width-`f` tile input. At `R_A = P` the panel is
     /// the whole adjacency, so the span shape is a pure function of the
-    /// graph shape.
+    /// graph shape; at `R_A < P` the kernel runs this rank's panel and
+    /// carries the column group's dense tile broadcast.
     fn spmm(&mut self, f: usize) {
         self.events.push(SchedEvent::Spmm {
-            rows: self.shape.n,
-            cols: self.cols_r(f),
-            nnz: self.shape.nnz,
+            rows: self.panel_len(),
+            cols: self.tile_cols(f),
+            nnz: self.panel_nnz[self.rank / self.r_a],
         });
+        if self.panels() > 1 {
+            self.events.push(SchedEvent::Broadcast {
+                bytes: ((self.panels() - 1) * self.panel_len() * self.tile_cols(f) * 4) as u64,
+            });
+        }
     }
 
     /// One row-sliced GEMM taking width `f_from` to width `f_to`.
@@ -375,12 +451,44 @@ pub fn predict_epoch(
     p: usize,
     rank: usize,
 ) -> Vec<SchedEvent> {
+    predict_epoch_ra(shape, config, memoize, p, p, rank, &[shape.nnz])
+        .expect("full replication is always in scope")
+}
+
+/// [`predict_epoch`] for the replicated-panel regime: the event sequence
+/// rank `rank` of the `p/r_a × r_a` grid produces, with group-scoped
+/// redistribution bytes and one dense tile [`SchedEvent::Broadcast`] per
+/// panel SpMM. `panel_nnz[k]` is the nonzero count of panel `k`'s row
+/// slice of the (symmetric) adjacency — data-dependent, so callers read
+/// it off the partitioned graph.
+///
+/// # Errors
+/// If `r_a` does not divide `p`, `rank` is out of range, or `panel_nnz`
+/// has the wrong length or does not sum to `shape.nnz` — inputs the
+/// predictor would otherwise silently misprice.
+pub fn predict_epoch_ra(
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    p: usize,
+    r_a: usize,
+    rank: usize,
+    panel_nnz: &[usize],
+) -> Result<Vec<SchedEvent>, String> {
+    let mut pr = Predictor::with_ra(shape, p, r_a, rank, panel_nnz)?;
+    predict_epoch_into(&mut pr, config, memoize);
+    Ok(pr.into_events())
+}
+
+/// The epoch schedule body, shared by the full-replication and
+/// replicated-panel entry points.
+fn predict_epoch_into(pr: &mut Predictor<'_>, config: &OrderConfig, memoize: bool) {
     let layers = config.layers();
-    let feats = &shape.feats;
-    let mut pr = Predictor::new(shape, p, rank);
+    let feats = pr.shape.feats.clone();
+    let feats = &feats;
 
     // ---- forward ----
-    let (mut h, t_fwd) = predict_forward(&mut pr, config, memoize, None);
+    let (mut h, t_fwd) = predict_forward(pr, config, memoize, None);
 
     // ---- backward ----
     // The loss gradient arrives row-sliced with the logits' width.
@@ -443,7 +551,6 @@ pub fn predict_epoch(
             }
         }
     }
-    pr.events
 }
 
 /// Reduce one rank's recorded trace to the schedule-level events of epoch
@@ -451,9 +558,18 @@ pub fn predict_epoch(
 /// span (loss and accuracy scalar reductions, dynamic-selection traffic)
 /// are ignored, as are `Retry`, `OverlapStrip` and `AggCache` instants.
 ///
+/// Attribution is kind-aware: a redistribution frame books only sends of
+/// its own collective kind, while `Broadcast`-kind sends — the replicated
+/// panels' tile exchange — accumulate wherever they occur (inside the
+/// kernel span when blocking, inside the preceding redistribution span
+/// when the overlapped sink assembles strip by strip) and are flushed as
+/// one [`SchedEvent::Broadcast`] when the carrying SpMM span closes. A
+/// blocking and an overlapped run of the same plan therefore extract to
+/// identical schedules at every replication factor.
+///
 /// # Errors
-/// If the trace is malformed (unbalanced spans) or never enters epoch
-/// `epoch`.
+/// If the trace is malformed (unbalanced spans, broadcast sends with no
+/// kernel span to book them) or never enters epoch `epoch`.
 pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>, String> {
     enum Frame {
         Epoch {
@@ -471,12 +587,16 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
         AllReduce {
             bytes: u64,
         },
+        /// A kernel span that can carry the replicated panels' tile
+        /// broadcast; closing it flushes the pending broadcast bytes.
+        Spmm,
         Other,
     }
     let mut stack: Vec<Frame> = Vec::new();
     let mut out = Vec::new();
     let mut in_epoch = false;
     let mut found = false;
+    let mut pending_bcast = 0u64;
     for (i, e) in trace.events.iter().enumerate() {
         match e.data {
             EventData::Begin(span) => {
@@ -505,8 +625,10 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
                     } => {
                         if in_epoch {
                             out.push(SchedEvent::Spmm { rows, cols, nnz });
+                            Frame::Spmm
+                        } else {
+                            Frame::Other
                         }
-                        Frame::Other
                     }
                     Span::Gemm { m, n, k, .. } => {
                         if in_epoch {
@@ -552,27 +674,48 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
                         });
                     }
                     Frame::AllReduce { bytes } => out.push(SchedEvent::AllReduce { bytes }),
+                    Frame::Spmm => {
+                        if pending_bcast > 0 {
+                            out.push(SchedEvent::Broadcast {
+                                bytes: pending_bcast,
+                            });
+                            pending_bcast = 0;
+                        }
+                    }
                     Frame::Other => {}
                 }
             }
             EventData::Collective {
-                bytes, dense_bytes, ..
+                kind,
+                bytes,
+                dense_bytes,
+                ..
             } => {
                 // Payload attribution: only sends issued directly inside a
-                // redistribution or all-reduce span belong to the
-                // schedule; anything else (loss/accuracy scalar
+                // redistribution or all-reduce span of their own kind
+                // belong to that frame; broadcast sends accumulate toward
+                // the carrying SpMM; anything else (loss/accuracy scalar
                 // reductions) is unpriced traffic.
-                match stack.last_mut() {
-                    Some(Frame::Redist {
-                        bytes: b, dense, ..
-                    }) => {
-                        *b += bytes as u64;
-                        *dense += dense_bytes as u64;
+                if in_epoch && kind == TraceCollective::Broadcast {
+                    pending_bcast += bytes as u64;
+                } else {
+                    match stack.last_mut() {
+                        Some(Frame::Redist {
+                            kind: fk,
+                            bytes: b,
+                            dense,
+                            ..
+                        }) if *fk == kind => {
+                            *b += bytes as u64;
+                            *dense += dense_bytes as u64;
+                        }
+                        Some(Frame::AllReduce { bytes: b })
+                            if kind == TraceCollective::AllReduce =>
+                        {
+                            *b += bytes as u64;
+                        }
+                        _ => {}
                     }
-                    Some(Frame::AllReduce { bytes: b }) => {
-                        *b += bytes as u64;
-                    }
-                    _ => {}
                 }
             }
             EventData::Retry { .. }
@@ -585,6 +728,12 @@ pub fn extract_epoch(trace: &RankTrace, epoch: usize) -> Result<Vec<SchedEvent>,
             "rank {}: {} span(s) left open at end of trace",
             trace.rank,
             stack.len()
+        ));
+    }
+    if pending_bcast > 0 {
+        return Err(format!(
+            "rank {}: {pending_bcast} broadcast bytes with no kernel span to book them",
+            trace.rank
         ));
     }
     if !found {
@@ -626,8 +775,28 @@ pub fn check_epoch(
     memoize: bool,
     p: usize,
 ) -> Result<Vec<Violation>, String> {
+    check_epoch_ra(trace, epoch, shape, config, memoize, p, p, &[shape.nnz])
+}
+
+/// [`check_epoch`] at a replication factor: the prediction runs the
+/// replicated-panel schedule (see [`predict_epoch_ra`]).
+///
+/// # Errors
+/// If the trace is structurally malformed, or the `(p, r_a, panel_nnz)`
+/// inputs are outside the predictor's scope.
+#[allow(clippy::too_many_arguments)]
+pub fn check_epoch_ra(
+    trace: &RankTrace,
+    epoch: usize,
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    p: usize,
+    r_a: usize,
+    panel_nnz: &[usize],
+) -> Result<Vec<Violation>, String> {
     trace.validate_nesting()?;
-    let expected = predict_epoch(shape, config, memoize, p, trace.rank);
+    let expected = predict_epoch_ra(shape, config, memoize, p, r_a, trace.rank, panel_nnz)?;
     let got = extract_epoch(trace, epoch)?;
     Ok(diff(trace.rank, epoch, &expected, &got))
 }
@@ -647,6 +816,25 @@ pub fn check_run(
 ) -> Result<Vec<Violation>, String> {
     let p = traces.len();
     assert!(p > 0, "need at least one rank trace");
+    check_run_ra(traces, shape, config, memoize, p, &[shape.nnz])
+}
+
+/// [`check_run`] at a replication factor: every rank's every epoch is
+/// diffed against the replicated-panel prediction.
+///
+/// # Errors
+/// If any trace is structurally malformed, or `(r_a, panel_nnz)` are
+/// outside the predictor's scope for `traces.len()` ranks.
+pub fn check_run_ra(
+    traces: &[RankTrace],
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    r_a: usize,
+    panel_nnz: &[usize],
+) -> Result<Vec<Violation>, String> {
+    let p = traces.len();
+    assert!(p > 0, "need at least one rank trace");
     // The epochs recorded by rank 0 define the run.
     let epochs: Vec<usize> = traces[0]
         .events
@@ -662,7 +850,9 @@ pub fn check_run(
     let mut violations = Vec::new();
     for trace in traces {
         for &epoch in &epochs {
-            violations.extend(check_epoch(trace, epoch, shape, config, memoize, p)?);
+            violations.extend(check_epoch_ra(
+                trace, epoch, shape, config, memoize, p, r_a, panel_nnz,
+            )?);
         }
     }
     Ok(violations)
@@ -972,5 +1162,190 @@ mod tests {
         };
         let err = extract_epoch(&trace, 3).unwrap_err();
         assert!(err.contains("no epoch 3"), "{err}");
+    }
+
+    #[test]
+    fn replicated_panel_prediction_prices_group_bytes_and_broadcasts() {
+        // P=4, R_A=2 on the 140-vertex shape: rank 1 sits at panel 0,
+        // position 1. Its panel spans rows [0, 70), its width-16 tile
+        // keeps 8 columns.
+        let s = shape();
+        let (p, r_a) = (4usize, 2usize);
+        let panel_nnz = [620usize, 480];
+        let cfg = OrderConfig::from_id(0, 2);
+        let ev = predict_epoch_ra(&s, &cfg, true, p, r_a, 1, &panel_nnz).unwrap();
+
+        // Every panel SpMM carries the column group's dense tile
+        // broadcast: (P/R_A - 1) · panel_len · tile_cols · 4 bytes.
+        let mut spmm_width = None;
+        for pair in ev.windows(2) {
+            if let SchedEvent::Spmm { rows, cols, nnz } = pair[0] {
+                assert_eq!(rows, 70, "panel rows");
+                assert_eq!(nnz, panel_nnz[0], "panel population");
+                assert!(
+                    matches!(pair[1], SchedEvent::Broadcast { bytes }
+                        if bytes == (70 * cols * 4) as u64),
+                    "spmm not followed by its tile broadcast: {} then {}",
+                    pair[0],
+                    pair[1]
+                );
+                spmm_width = Some(cols);
+            }
+        }
+        assert_eq!(spmm_width, Some(8), "width-16 tile over a 2-rank group");
+
+        // Group redistributions stay inside the row group: the first
+        // forward Col→Row ships the 70 - 35 panel rows this rank does
+        // not own, at its 8 tile columns.
+        let first_redist = ev
+            .iter()
+            .find_map(|e| match e {
+                SchedEvent::Redist {
+                    from: Form::Col,
+                    to: Form::Row,
+                    bytes,
+                    ..
+                } => Some(*bytes),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_redist, (35 * 8 * 4) as u64);
+
+        // Full replication through the r_a entry point is exactly the
+        // legacy prediction: no Broadcast events, identical sequence.
+        let full = predict_epoch_ra(&s, &cfg, true, p, p, 1, &[s.nnz]).unwrap();
+        assert_eq!(full, predict_epoch(&s, &cfg, true, p, 1));
+        assert!(!full
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Broadcast { .. })));
+
+        // R_A = 1 (fully partitioned adjacency): single-member row groups
+        // move no redistribution bytes; all traffic is tile broadcasts.
+        let parted: Vec<usize> = (0..p).map(|r| 200 + r * 50).collect();
+        let parted = {
+            let mut v = parted;
+            let slack = s.nnz - v.iter().sum::<usize>();
+            v[0] += slack;
+            v
+        };
+        let ev1 = predict_epoch_ra(&s, &cfg, true, p, 1, 2, &parted).unwrap();
+        for e in &ev1 {
+            if let SchedEvent::Redist {
+                kind: TraceCollective::Redistribute,
+                bytes,
+                ..
+            } = e
+            {
+                assert_eq!(*bytes, 0, "{e}");
+            }
+        }
+        assert!(ev1
+            .iter()
+            .any(|e| matches!(e, SchedEvent::Broadcast { bytes } if *bytes > 0)));
+    }
+
+    #[test]
+    fn replicated_panel_prediction_rejects_malformed_grids() {
+        let s = shape();
+        let cfg = OrderConfig::from_id(0, 2);
+        let err = predict_epoch_ra(&s, &cfg, true, 4, 3, 0, &[s.nnz]).unwrap_err();
+        assert!(err.contains("must divide"), "{err}");
+        let err = predict_epoch_ra(&s, &cfg, true, 4, 2, 4, &[600, 500]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = predict_epoch_ra(&s, &cfg, true, 4, 2, 0, &[s.nnz]).unwrap_err();
+        assert!(err.contains("panel nonzero counts"), "{err}");
+        let err = predict_epoch_ra(&s, &cfg, true, 4, 2, 0, &[600, 600]).unwrap_err();
+        assert!(err.contains("sum to"), "{err}");
+    }
+
+    #[test]
+    fn extract_flushes_broadcasts_at_the_carrying_kernel_span() {
+        // Broadcast-kind sends land in two placements: inside the SpMM
+        // span (blocking) or inside the preceding Redistribute span
+        // (overlapped, where the on-strip sink runs). Both must extract
+        // to the same [Redist, Spmm, Broadcast] sequence.
+        let mk = |seq: u64, data: EventData| Event {
+            seq,
+            ts_ns: seq,
+            data,
+        };
+        let redist = Span::Redistribute {
+            from: Form::Col,
+            to: Form::Row,
+            chunks: 1,
+            kind: TraceCollective::Redistribute,
+        };
+        let spmm = Span::Spmm {
+            rows: 70,
+            cols: 8,
+            nnz: 620,
+            width: 8,
+        };
+        let send = |seq, kind, bytes| {
+            mk(
+                seq,
+                EventData::Collective {
+                    kind,
+                    peer: 1,
+                    bytes,
+                    dense_bytes: bytes,
+                    msg_seq: seq,
+                },
+            )
+        };
+        let blocking = vec![
+            mk(0, EventData::Begin(Span::Epoch { idx: 0 })),
+            mk(1, EventData::Begin(redist)),
+            send(2, TraceCollective::Redistribute, 96),
+            mk(3, EventData::End),
+            mk(4, EventData::Begin(spmm)),
+            send(5, TraceCollective::Broadcast, 2240),
+            mk(6, EventData::End),
+            mk(7, EventData::End),
+        ];
+        let overlapped = vec![
+            mk(0, EventData::Begin(Span::Epoch { idx: 0 })),
+            mk(1, EventData::Begin(redist)),
+            send(2, TraceCollective::Redistribute, 96),
+            // The pipelined strip sink broadcasts inside the
+            // redistribution span; the aggregate kernel span follows.
+            send(3, TraceCollective::Broadcast, 2240),
+            mk(4, EventData::End),
+            mk(5, EventData::Begin(spmm)),
+            mk(6, EventData::End),
+            mk(7, EventData::End),
+        ];
+        let expect = vec![
+            SchedEvent::Redist {
+                from: Form::Col,
+                to: Form::Row,
+                kind: TraceCollective::Redistribute,
+                bytes: 96,
+            },
+            SchedEvent::Spmm {
+                rows: 70,
+                cols: 8,
+                nnz: 620,
+            },
+            SchedEvent::Broadcast { bytes: 2240 },
+        ];
+        for events in [blocking, overlapped] {
+            let trace = RankTrace { rank: 0, events };
+            assert_eq!(extract_epoch(&trace, 0).unwrap(), expect);
+        }
+
+        // Broadcast bytes with no kernel span to book them are a
+        // malformed trace, not silence.
+        let dangling = vec![
+            mk(0, EventData::Begin(Span::Epoch { idx: 0 })),
+            send(1, TraceCollective::Broadcast, 64),
+            mk(2, EventData::End),
+        ];
+        let trace = RankTrace {
+            rank: 0,
+            events: dangling,
+        };
+        let err = extract_epoch(&trace, 0).unwrap_err();
+        assert!(err.contains("no kernel span"), "{err}");
     }
 }

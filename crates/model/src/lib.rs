@@ -35,16 +35,21 @@ pub mod serving;
 pub mod symbolic;
 
 pub use config::{Order, OrderConfig};
-pub use conformance::{check_epoch, check_run, predict_epoch, SchedEvent, Violation};
+pub use conformance::{
+    check_epoch, check_epoch_ra, check_run, check_run_ra, predict_epoch, predict_epoch_ra,
+    SchedEvent, Violation,
+};
 pub use cost::{
     config_cost_with_sparsity, pareto_configs, pareto_configs_with_sparsity, pareto_ids, Cost,
     GnnShape,
 };
 pub use device::{DeviceModel, MeasuredRank, Predicted};
-pub use layer::LayerDims;
+pub use layer::{
+    group_redistribution_elems, panel_broadcast_elems, redistribution_elems, LayerDims,
+};
 pub use memory::{cagnet_bytes_per_gpu, max_replication, rdm_bytes_per_gpu, MemoryParams};
 pub use serving::{
-    check_session, extract_session, predict_session, AdmitOutcome, CacheSim, ServeEvent,
-    ServeViolation, SessionBatch,
+    check_session, check_session_ra, extract_session, predict_session, predict_session_ra,
+    AdmitOutcome, CacheSim, ServeEvent, ServeViolation, SessionBatch,
 };
 pub use symbolic::{table4, Table4Row};

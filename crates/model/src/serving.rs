@@ -241,7 +241,50 @@ pub fn predict_session(
     batches: &[SessionBatch],
     cache_rows: usize,
 ) -> Vec<ServeEvent> {
-    assert!(rank < p, "rank {rank} out of range for P={p}");
+    predict_session_ra(
+        shape,
+        config,
+        memoize,
+        p,
+        p,
+        rank,
+        batches,
+        cache_rows,
+        &[shape.nnz],
+    )
+    .expect("full replication is always in scope")
+}
+
+/// [`predict_session`] for the replicated-panel regime: group-scoped
+/// redistribution bytes and one dense tile broadcast per panel SpMM, as
+/// [`crate::conformance::predict_epoch_ra`] prices them. `panel_nnz[k]`
+/// is the nonzero count of panel `k`'s row slice of the adjacency.
+///
+/// # Errors
+/// If `r_a` does not divide `p`, `rank` is out of range, `panel_nnz` is
+/// inconsistent with the grid, or `cache_rows > 0` at `r_a < p` (the
+/// layer-0 aggregation cache indexes the fully replicated adjacency) —
+/// inputs the predictor would otherwise silently misprice.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_session_ra(
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    p: usize,
+    r_a: usize,
+    rank: usize,
+    batches: &[SessionBatch],
+    cache_rows: usize,
+    panel_nnz: &[usize],
+) -> Result<Vec<ServeEvent>, String> {
+    if cache_rows > 0 && r_a != p {
+        return Err(format!(
+            "the layer-0 aggregation cache indexes the fully replicated \
+             adjacency: r_a {r_a} < P {p} cannot cache"
+        ));
+    }
+    // Validate the grid once up front (also covers the empty-session case).
+    Predictor::with_ra(shape, p, r_a, rank, panel_nnz)?;
     let cached = cache_rows > 0 && config.forward[0] == Order::SpmmFirst;
     let mut sim = CacheSim::new(shape.n, p, cache_rows);
     let cols_me = part_len(shape.feats[0], p, rank);
@@ -268,7 +311,7 @@ pub fn predict_session(
         } else {
             None
         };
-        let mut pr = Predictor::new(shape, p, rank);
+        let mut pr = Predictor::with_ra(shape, p, r_a, rank, panel_nnz)?;
         predict_forward(&mut pr, config, memoize, layer1_bytes);
         out.extend(pr.into_events().into_iter().map(ServeEvent::Sched));
         out.push(ServeEvent::BatchEnd);
@@ -276,7 +319,7 @@ pub fn predict_session(
             sim.admit(&b.targets);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Reduce one rank's recorded serving trace to [`ServeEvent`]s. Mirrors
@@ -303,12 +346,16 @@ pub fn extract_session(trace: &RankTrace) -> Result<Vec<ServeEvent>, String> {
         AllReduce {
             bytes: u64,
         },
+        /// A kernel span that can carry the replicated panels' tile
+        /// broadcast; closing it flushes the pending broadcast bytes.
+        Spmm,
         Other,
     }
     let mut stack: Vec<Frame> = Vec::new();
     let mut out = Vec::new();
     let mut in_batch = false;
     let mut found = false;
+    let mut pending_bcast = 0u64;
     for (i, e) in trace.events.iter().enumerate() {
         match e.data {
             EventData::Begin(span) => {
@@ -336,8 +383,10 @@ pub fn extract_session(trace: &RankTrace) -> Result<Vec<ServeEvent>, String> {
                     } => {
                         if in_batch {
                             out.push(ServeEvent::Sched(SchedEvent::Spmm { rows, cols, nnz }));
+                            Frame::Spmm
+                        } else {
+                            Frame::Other
                         }
-                        Frame::Other
                     }
                     Span::Gemm { m, n, k, .. } => {
                         if in_batch {
@@ -382,23 +431,48 @@ pub fn extract_session(trace: &RankTrace) -> Result<Vec<ServeEvent>, String> {
                     Frame::AllReduce { bytes } => {
                         out.push(ServeEvent::Sched(SchedEvent::AllReduce { bytes }));
                     }
+                    Frame::Spmm => {
+                        if pending_bcast > 0 {
+                            out.push(ServeEvent::Sched(SchedEvent::Broadcast {
+                                bytes: pending_bcast,
+                            }));
+                            pending_bcast = 0;
+                        }
+                    }
                     Frame::Other => {}
                 }
             }
             EventData::Collective {
-                bytes, dense_bytes, ..
-            } => match stack.last_mut() {
-                Some(Frame::Redist {
-                    bytes: b, dense, ..
-                }) => {
-                    *b += bytes as u64;
-                    *dense += dense_bytes as u64;
+                kind,
+                bytes,
+                dense_bytes,
+                ..
+            } => {
+                // Kind-aware attribution, mirroring `extract_epoch`: a
+                // redistribution frame books only its own kind; broadcast
+                // sends accumulate toward the carrying SpMM span's close.
+                if in_batch && kind == TraceCollective::Broadcast {
+                    pending_bcast += bytes as u64;
+                } else {
+                    match stack.last_mut() {
+                        Some(Frame::Redist {
+                            kind: fk,
+                            bytes: b,
+                            dense,
+                            ..
+                        }) if *fk == kind => {
+                            *b += bytes as u64;
+                            *dense += dense_bytes as u64;
+                        }
+                        Some(Frame::AllReduce { bytes: b })
+                            if kind == TraceCollective::AllReduce =>
+                        {
+                            *b += bytes as u64;
+                        }
+                        _ => {}
+                    }
                 }
-                Some(Frame::AllReduce { bytes: b }) => {
-                    *b += bytes as u64;
-                }
-                _ => {}
-            },
+            }
             EventData::Retry { .. }
             | EventData::OverlapStrip { .. }
             | EventData::AggCache { .. } => {}
@@ -409,6 +483,12 @@ pub fn extract_session(trace: &RankTrace) -> Result<Vec<ServeEvent>, String> {
             "rank {}: {} span(s) left open at end of trace",
             trace.rank,
             stack.len()
+        ));
+    }
+    if pending_bcast > 0 {
+        return Err(format!(
+            "rank {}: {pending_bcast} broadcast bytes with no kernel span to book them",
+            trace.rank
         ));
     }
     if !found {
@@ -459,10 +539,41 @@ pub fn check_session(
 ) -> Result<Vec<ServeViolation>, String> {
     let p = traces.len();
     assert!(p > 0, "need at least one rank trace");
+    check_session_ra(
+        traces,
+        shape,
+        config,
+        memoize,
+        batches,
+        cache_rows,
+        p,
+        &[shape.nnz],
+    )
+}
+
+/// [`check_session`] generalized to replicated row panels: each rank's
+/// expected schedule is predicted from `(plan, P, r_a)` and the per-panel
+/// adjacency populations, so group-scoped redistributions and panel-tile
+/// broadcasts are conformance-checked rather than silently skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn check_session_ra(
+    traces: &[RankTrace],
+    shape: &GnnShape,
+    config: &OrderConfig,
+    memoize: bool,
+    batches: &[SessionBatch],
+    cache_rows: usize,
+    r_a: usize,
+    panel_nnz: &[usize],
+) -> Result<Vec<ServeViolation>, String> {
+    let p = traces.len();
+    assert!(p > 0, "need at least one rank trace");
     let mut violations = Vec::new();
     for trace in traces {
         trace.validate_nesting()?;
-        let expected = predict_session(shape, config, memoize, p, trace.rank, batches, cache_rows);
+        let expected = predict_session_ra(
+            shape, config, memoize, p, r_a, trace.rank, batches, cache_rows, panel_nnz,
+        )?;
         let got = extract_session(trace)?;
         violations.extend(diff_session(trace.rank, &expected, &got));
     }

@@ -20,7 +20,7 @@
 use rdm_comm::{Cluster, CommStats, FaultPlan};
 use rdm_core::infer::forward_logits_with;
 use rdm_core::ops::OpCounters;
-use rdm_core::plan::{best_plan_with, Plan};
+use rdm_core::plan::{best_plan_with_ra_sparsity, Plan};
 use rdm_core::{AggCache, OverlapSpec, WeightSnapshot};
 use rdm_dense::kernels::{self, Mode as KernelMode};
 use rdm_dense::mat::part_range;
@@ -56,9 +56,18 @@ pub struct ServeConfig {
     /// Minibatch formation.
     pub sampler: ServeSampler,
     /// Execution plan; `None` picks the device-model best for the serving
-    /// shape. Serving replicates the adjacency fully, so the plan's `r_a`
-    /// must equal `p`.
+    /// shape (priced at [`ServeConfig::ra`]'s replication factor). The
+    /// plan's `r_a` must divide `p`; `r_a < p` serves from the
+    /// replicated-panel topology with bitwise-identical logits.
     pub plan: Option<Plan>,
+    /// Adjacency replication factor for the auto-selected plan: candidates
+    /// are priced at `config_cost(shape, cfg, p, r)` so the chosen ordering
+    /// reflects the group-redistribution / panel-broadcast trade-off.
+    /// `None` means full replication. Must divide `p`; an explicit
+    /// [`ServeConfig::plan`] carries its own `r_a` and conflicts with a
+    /// different value here. Incompatible with the aggregation cache
+    /// (which indexes the fully replicated adjacency) when `r < p`.
+    pub ra: Option<usize>,
     /// Ship redistribution payloads in the sparsity-compressed wire format.
     pub sparse: bool,
     /// Fault injection for the session's fabric.
@@ -96,6 +105,7 @@ impl ServeConfig {
             policy: BatchPolicy::new(8, 2_000),
             sampler: ServeSampler::Full,
             plan: None,
+            ra: None,
             sparse: false,
             faults: None,
             trace: false,
@@ -117,6 +127,12 @@ impl ServeConfig {
     /// Enable the aggregation cache with `rows` rows per rank.
     pub fn cached(mut self, rows: usize) -> Self {
         self.cache = rows;
+        self
+    }
+
+    /// Serve at replication factor `r` (see [`ServeConfig::ra`]).
+    pub fn ra(mut self, r: usize) -> Self {
+        self.ra = Some(r);
         self
     }
 
@@ -260,13 +276,31 @@ pub fn serve(
         ds.num_classes(),
         layers,
     );
-    let plan = cfg
-        .plan
-        .clone()
-        .unwrap_or_else(|| best_plan_with(&shape, p, &cfg.device));
-    if plan.r_a != p {
+    if let (Some(plan), Some(r)) = (&cfg.plan, cfg.ra) {
+        if plan.r_a != r {
+            return Err(format!(
+                "explicit plan has r_a = {} but the config asks for r_a = {r}",
+                plan.r_a
+            ));
+        }
+    }
+    let r_a = cfg.plan.as_ref().map(|pl| pl.r_a).or(cfg.ra).unwrap_or(p);
+    if r_a == 0 || !p.is_multiple_of(r_a) {
+        return Err(format!("replication factor {r_a} must divide P = {p}"));
+    }
+    let plan = cfg.plan.clone().unwrap_or_else(|| {
+        let sigma = if cfg.sparse {
+            1.0 - ds.adj_norm.empty_row_fraction()
+        } else {
+            1.0
+        };
+        best_plan_with_ra_sparsity(&shape, p, r_a, &cfg.device, sigma)
+    });
+    if cfg.cache > 0 && plan.r_a != p {
         return Err(format!(
-            "serving replicates the adjacency fully: plan r_a {} must equal P {p}",
+            "the layer-0 aggregation cache indexes the fully replicated \
+             adjacency: r_a {} < P {p} cannot cache (drop --cache or serve \
+             at full replication)",
             plan.r_a
         ));
     }
@@ -279,6 +313,12 @@ pub fn serve(
     // The cache stores the SpMM-first layer-1 intermediate; on GEMM-first
     // first layers it is inert by design (counters stay zero).
     let cache_active = cfg.cache > 0 && plan.config.forward[0] == Order::SpmmFirst;
+    // Requested pipelining that the engine gate will drop anyway (e.g. a
+    // single rank, or `r_a = 1` leaving no redistribution group) is
+    // surfaced on the report instead of silently serving blocking.
+    let overlap_inert = cfg
+        .pipeline
+        .and_then(|chunks| rdm_core::overlap_inert_reason(chunks, p, plan.r_a, false));
 
     // The batch schedule and (for the induced sampler) each batch's vertex
     // set are pure functions of the shared inputs — computed once here,
@@ -542,6 +582,7 @@ pub fn serve(
         retries: stats.retries,
         cache_hits,
         cache_misses,
+        overlap_inert,
     };
     Ok(ServeOutput {
         report,
@@ -650,9 +691,22 @@ mod tests {
         // Wrong class count.
         let bad = WeightSnapshot::from_weights(&GcnWeights::init(&[8, 8, 4], 7));
         assert!(serve(&ds, &bad, &reqs, &ServeConfig::new(2)).is_err());
-        // Partial replication is not servable.
+        // A replication factor that does not divide P.
         let mut cfg = ServeConfig::new(4);
-        cfg.plan = Some(Plan::from_id(0, 2, 4).with_ra(2));
+        cfg.plan = Some(Plan::from_id(0, 2, 4).with_ra(3));
+        assert!(serve(&ds, &snap, &reqs, &cfg).is_err());
+        let mut cfg = ServeConfig::new(4);
+        cfg.ra = Some(3);
+        assert!(serve(&ds, &snap, &reqs, &cfg).is_err());
+        // An explicit plan conflicting with the configured factor.
+        let mut cfg = ServeConfig::new(4);
+        cfg.plan = Some(Plan::from_id(0, 2, 4));
+        cfg.ra = Some(2);
+        assert!(serve(&ds, &snap, &reqs, &cfg).is_err());
+        // The aggregation cache indexes the fully replicated adjacency.
+        let mut cfg = ServeConfig::new(4);
+        cfg.ra = Some(2);
+        cfg.cache = 8;
         assert!(serve(&ds, &snap, &reqs, &cfg).is_err());
         // Budget below a full batch.
         let mut cfg = ServeConfig::new(2);
@@ -770,6 +824,60 @@ mod tests {
         for (a, b) in base.report.requests.iter().zip(&out.report.requests) {
             assert_eq!(a.logits, b.logits);
         }
+    }
+
+    /// Serving from a replicated-panel plan (`r_a < p`) must produce
+    /// bitwise-identical logits to the fully replicated session — across
+    /// the dense wire, the sparse wire and pipelined admission — while
+    /// group redistributions plus dense panel broadcasts replace the
+    /// full-replication exchange on the wire.
+    #[test]
+    fn replicated_panel_sessions_are_bitwise_full_replication() {
+        let (ds, snap) = setup();
+        let reqs = LoadGen::new(17, 3, 25, 32).generate(ds.n());
+        let base = {
+            let mut cfg = ServeConfig::new(4);
+            cfg.plan = Some(Plan::from_id(10, 2, 4));
+            serve(&ds, &snap, &reqs, &cfg).unwrap()
+        };
+        for (sparse, pipeline) in [(false, None), (true, None), (true, Some(3))] {
+            let mut cfg = ServeConfig::new(4);
+            cfg.plan = Some(Plan::from_id(10, 2, 4).with_ra(2));
+            cfg.sparse = sparse;
+            cfg.pipeline = pipeline;
+            let out = serve(&ds, &snap, &reqs, &cfg).unwrap();
+            for (a, b) in base.report.requests.iter().zip(&out.report.requests) {
+                assert_eq!(
+                    a.logits, b.logits,
+                    "r_a=2 sparse={sparse} pipeline={pipeline:?} drifted on request {}",
+                    a.idx
+                );
+            }
+            assert!(
+                out.stats.bytes(CollectiveKind::Broadcast) > 0,
+                "replicated panels must broadcast tiles"
+            );
+            assert!(out.report.overlap_inert_reason().is_none());
+            if pipeline.is_some() {
+                assert!(out.stats.overlap_ns > 0, "pipeline hid nothing at r_a=2");
+            }
+        }
+        // A one-panel-column grid (r_a = 1) has no redistribution group to
+        // pipeline: the session still serves correct logits but reports the
+        // requested pipeline as inert.
+        let mut cfg = ServeConfig::new(4);
+        cfg.ra = Some(1);
+        cfg.plan = Some(Plan::from_id(10, 2, 4).with_ra(1));
+        cfg.pipeline = Some(3);
+        let out = serve(&ds, &snap, &reqs, &cfg).unwrap();
+        for (a, b) in base.report.requests.iter().zip(&out.report.requests) {
+            assert_eq!(a.logits, b.logits, "r_a=1 drifted on request {}", a.idx);
+        }
+        assert_eq!(
+            out.report.overlap_inert_reason(),
+            Some("r_a = 1 leaves no redistribution group to pipeline")
+        );
+        assert!(out.report.render().contains("overlap     inert (r_a = 1"));
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct ServeReport {
     pub cache_hits: u64,
     /// Aggregation-cache misses (each occurrence counts).
     pub cache_misses: u64,
+    /// Why a requested pipelined admission stayed inert (the session ran
+    /// the blocking schedule), mirroring the engine's overlap gate: `None`
+    /// when the pipeline ran — or was never requested.
+    pub overlap_inert: Option<&'static str>,
 }
 
 impl ServeReport {
@@ -177,6 +181,12 @@ impl ServeReport {
         self.cache_hits as f64 / total as f64
     }
 
+    /// Why a requested pipelined admission stayed inert, or `None` when it
+    /// ran (or was never requested).
+    pub fn overlap_inert_reason(&self) -> Option<&'static str> {
+        self.overlap_inert
+    }
+
     /// Fixed-format text report. Every field is an integer or printed with
     /// a fixed precision, so a replayed session renders byte-identically.
     pub fn render(&self) -> String {
@@ -186,13 +196,17 @@ impl ServeReport {
         } else {
             self.requests.len() as f64 / self.batches.len() as f64
         };
+        let overlap = match self.overlap_inert {
+            Some(reason) => format!("inert ({reason}); the session ran blocking"),
+            None => format!("{} us hidden by pipelining", self.overlap_us_total()),
+        };
         format!(
             "== rdm-serve report ==\n\
              dataset     {}  P={}  wire={}\n\
              requests    {} in {} batches (mean batch {:.2})\n\
              latency     p50 {} us  p99 {} us  mean {} us  max {} us\n\
              throughput  {:.1} req/s (virtual)\n\
-             overlap     {} us hidden by pipelining\n\
+             overlap     {}\n\
              agg-cache   {} hits  {} misses  (hit rate {:.2})\n\
              workspace   warmup fresh {}  steady fresh {}  steady reused {}\n\
              comm        {} payload bytes in {} messages  retries {}\n",
@@ -207,7 +221,7 @@ impl ServeReport {
             self.mean_us(),
             self.max_us(),
             self.throughput_rps(),
-            self.overlap_us_total(),
+            overlap,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate(),
@@ -317,6 +331,7 @@ mod tests {
             retries: 0,
             cache_hits: 3,
             cache_misses: 1,
+            overlap_inert: None,
         }
     }
 
@@ -359,6 +374,19 @@ mod tests {
     }
 
     #[test]
+    fn inert_overlap_renders_the_reason_instead_of_hidden_time() {
+        let mut r = tiny_report();
+        r.overlap_inert = Some("single rank");
+        let s = r.render();
+        assert!(
+            s.contains("overlap     inert (single rank); the session ran blocking"),
+            "missing inert line in:\n{s}"
+        );
+        assert!(!s.contains("hidden by pipelining"));
+        assert_eq!(r.overlap_inert_reason(), Some("single rank"));
+    }
+
+    #[test]
     fn empty_session_renders_zeros() {
         let r = ServeReport {
             dataset: "demo".into(),
@@ -374,6 +402,7 @@ mod tests {
             retries: 0,
             cache_hits: 0,
             cache_misses: 0,
+            overlap_inert: None,
         };
         assert_eq!(r.p50_us(), 0);
         assert_eq!(r.p99_us(), 0);

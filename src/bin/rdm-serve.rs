@@ -41,6 +41,7 @@ struct Args {
     max_wait: u64,
     budget: Option<usize>,
     seed: u64,
+    ra: Option<usize>,
     sparse: bool,
     pipeline: Option<usize>,
     cache: usize,
@@ -73,6 +74,7 @@ impl Default for Args {
             max_wait: 2_000,
             budget: None,
             seed: 42,
+            ra: None,
             sparse: false,
             pipeline: None,
             cache: 0,
@@ -118,6 +120,13 @@ SERVING:
                         subgraph around its targets; default is full-graph
   --seed <s>            load-generator seed; the whole report replays
                         byte-identically for a fixed seed [42]
+  --ra <r>              adjacency replication factor (must divide --ranks);
+                        r < P serves from replicated row panels: the auto
+                        plan is re-priced at r, group redistributions shrink
+                        to (r-1)/r while dense panel broadcasts appear, and
+                        logits stay bitwise identical to full replication.
+                        Incompatible with --cache when r < P (the layer-0
+                        aggregation cache indexes the full adjacency)
   --sparse              ship redistributions in the sparsity-aware wire format
   --pipeline <chunks>   pipelined batch admission: chunk every redistribution
                         into <chunks> strips (>= 2) and hide the transfer
@@ -203,6 +212,13 @@ fn parse_args() -> Result<Args, String> {
                 args.budget = Some(value("--budget")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--ra" => {
+                let r: usize = value("--ra")?.parse().map_err(|e| format!("{e}"))?;
+                if r == 0 {
+                    return Err("--ra needs a positive replication factor".into());
+                }
+                args.ra = Some(r);
+            }
             "--sparse" => args.sparse = true,
             "--pipeline" => {
                 let chunks: usize = value("--pipeline")?.parse().map_err(|e| format!("{e}"))?;
@@ -334,6 +350,7 @@ fn main() -> ExitCode {
     let requests = load.generate(ds.n());
     let mut cfg = ServeConfig::new(args.ranks);
     cfg.policy = BatchPolicy::new(args.max_batch, args.max_wait);
+    cfg.ra = args.ra;
     cfg.sparse = args.sparse;
     cfg.pipeline = args.pipeline;
     cfg.cache = args.cache;
@@ -374,6 +391,13 @@ fn main() -> ExitCode {
         }
     }
     print!("{}", report.render());
+    if let Some(r) = args.ra {
+        println!(
+            "replication: r_a={r} of P={} (replicated row panels; logits \
+             bitwise identical to full replication)",
+            args.ranks
+        );
+    }
     if args.fast_kernels {
         println!(
             "kernels: fast path at lane width {} (bitwise vs direct forward \

@@ -96,13 +96,14 @@ MODEL / TRAINING:
   --ranks <p>           simulated GPUs [4]
   --layers <l>          GCN layers [2]
   --hidden <h>          hidden width [128]
-  --ra <r>              adjacency replication factor (rdm only) [P]. The
-                        full rule: r must divide P (the trainer rejects any
-                        other value), and plan selection always returns full
-                        replication first — an explicit r is applied on top.
-                        With --sparse, sparsity re-prices redistribution
-                        volume only; op counts and the compute side of plan
-                        ranking are unchanged
+  --ra <r>              adjacency replication factor (rdm only) [P]. r must
+                        divide P (the trainer rejects any other value). With
+                        auto ordering, candidates are priced at r_a = r —
+                        group redistributions shrink to (r-1)/r while dense
+                        panel broadcasts appear, so the chosen Table-IV id
+                        can differ from the full-replication pick. With
+                        --sparse, sparsity re-prices redistribution volume
+                        only; broadcasts and op counts are unchanged
   --overlap <c>         pipeline redistributions into c chunks overlapped
                         with compute (rdm only); results are bit-identical
                         to blocking, hidden comm time is reported
@@ -320,19 +321,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut algo = match build_algo(&args) {
+    let algo = match build_algo(&args) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    // Auto ordering with an explicit replication factor: pick the best
-    // ordering from the model, then override R_A.
-    if let (Algo::Rdm { plan: plan @ None }, Some(r)) = (&mut algo, args.ra) {
-        let shape = ds.shape_layers(args.hidden, args.layers);
-        *plan = Some(gnn_rdm::core::best_plan(&shape, args.ranks).with_ra(r));
-    }
     let mut cfg = TrainerConfig {
         algo,
         ..TrainerConfig::rdm_auto(args.ranks)
@@ -342,6 +337,13 @@ fn main() -> ExitCode {
     .lr(args.lr)
     .epochs(args.epochs)
     .seed(args.seed);
+    // Auto ordering with an explicit replication factor: the trainer
+    // prices every candidate ordering at r_a = r (sigma-repriced under
+    // --sparse), so the replication factor participates in selection
+    // instead of being bolted onto a full-replication pick.
+    if let (Algo::Rdm { plan: None } | Algo::RdmDynamic { .. }, Some(r)) = (&cfg.algo, args.ra) {
+        cfg = cfg.ra(r);
+    }
     if let Some(c) = args.overlap {
         cfg = cfg.overlap(c);
     }
@@ -413,11 +415,14 @@ fn main() -> ExitCode {
         );
     }
     if args.overlap.is_some() {
-        println!(
-            "overlap: {:.3} ms of communication hidden behind compute over the run; \
-             results bit-identical to blocking",
-            report.total_overlap_ns() as f64 / 1e6,
-        );
+        match report.overlap_inert_reason() {
+            Some(reason) => println!("overlap: inert ({reason}); the run executed blocking"),
+            None => println!(
+                "overlap: {:.3} ms of communication hidden behind compute over the run; \
+                 results bit-identical to blocking",
+                report.total_overlap_ns() as f64 / 1e6,
+            ),
+        }
     }
     if args.sparse {
         let actual = report.total_redistribution_bytes();

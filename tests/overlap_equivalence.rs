@@ -110,6 +110,55 @@ fn overlapped_training_is_bitwise_blocking_everywhere() {
     }
 }
 
+#[test]
+fn overlapped_training_is_bitwise_blocking_across_replication_factors() {
+    // The lifted `r_a == P` gate: chunk-pipelined group redistribution
+    // (with the panel-group broadcast overlapped into the strip sink)
+    // must be bitwise the blocking replicated-panel schedule at every
+    // R_A — same trajectory, same payload bytes per collective kind.
+    let ds = dataset();
+    let p = 4usize;
+    for r_a in [1usize, 2, 4] {
+        for id in PLAN_IDS {
+            let base = TrainerConfig::rdm(p, Plan::from_id(id, 2, p).with_ra(r_a))
+                .hidden(8)
+                .epochs(4);
+            let blocking = report(&ds, base.clone());
+            let overlapped = report(&ds, base.overlap(3));
+            assert_eq!(
+                trajectory(&blocking),
+                trajectory(&overlapped),
+                "r_a={r_a} id={id}: overlapped trajectory drifted"
+            );
+            assert_eq!(
+                volumes(&blocking),
+                volumes(&overlapped),
+                "r_a={r_a} id={id}: payload bytes drifted"
+            );
+            if r_a > 1 {
+                // Group redistribution exists to pipeline: bytes hide.
+                assert!(
+                    overlapped.total_overlap_ns() > 0,
+                    "r_a={r_a} id={id}: pipeline hid nothing"
+                );
+            } else {
+                // R_A = 1: single-member groups leave no redistribution;
+                // the pipeline gate reports itself inert.
+                assert_eq!(
+                    overlapped.total_overlap_ns(),
+                    0,
+                    "r_a=1 has no group redistribution to hide"
+                );
+                assert_eq!(
+                    overlapped.overlap_inert_reason(),
+                    Some("r_a = 1 leaves no redistribution group to pipeline"),
+                    "id={id}: missing inert-overlap reason"
+                );
+            }
+        }
+    }
+}
+
 /// `(loss, train_acc, test_acc)` bit patterns for one epoch.
 type EpochBits = (u32, u32, u32);
 

@@ -349,11 +349,20 @@ fn trainer_rejects_replication_factors_that_do_not_divide_p() {
             "P={p} r_a={ra}: unexpected error {err:?}"
         );
     }
-    // The serving engine enforces the stricter serving-side rule.
+    // The serving engine accepts replicated-panel plans (r_a < P is
+    // first-class since the grid-parity PR) but enforces the same
+    // divisibility rule, and the layer-0 aggregation cache still
+    // requires full replication.
     let snap = snapshot();
     let requests = LoadGen::new(2, 1, 10, 4).generate(ds.n());
     let mut cfg = ServeConfig::new(4);
     cfg.plan = Some(Plan::from_id(0, 2, 4).with_ra(2));
+    serve(&ds, &snap, &requests, &cfg).expect("r_a = 2 on P = 4 is a valid serving grid");
+    cfg.plan = Some(Plan::from_id(0, 2, 4).with_ra(3));
     let err = serve(&ds, &snap, &requests, &cfg).unwrap_err();
-    assert!(err.contains("must equal"), "unexpected error {err:?}");
+    assert!(err.contains("must divide"), "unexpected error {err:?}");
+    cfg.plan = Some(Plan::from_id(0, 2, 4).with_ra(2));
+    cfg.cache = 16;
+    let err = serve(&ds, &snap, &requests, &cfg).unwrap_err();
+    assert!(err.contains("cannot cache"), "unexpected error {err:?}");
 }

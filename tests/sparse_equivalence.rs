@@ -10,7 +10,10 @@
 
 use gnn_rdm::comm::FaultPlan;
 use gnn_rdm::core::{train_gcn, Plan, TrainReport, TrainerConfig};
+use gnn_rdm::dense::mat::part_range;
 use gnn_rdm::graph::{rmat, symmetrize, Dataset, DatasetSpec};
+use gnn_rdm::model::{predict_epoch_ra, GnnShape, OrderConfig, SchedEvent};
+use gnn_rdm::trace::TraceCollective;
 
 /// Fault-seed offset from the environment, so the CI job can sweep
 /// distinct fault universes without code changes.
@@ -149,6 +152,165 @@ fn sparse_actually_compresses_on_compressible_data() {
         sparse.total_redistribution_bytes(),
         dense.total_redistribution_bytes()
     );
+}
+
+#[test]
+fn sparse_is_bitwise_identical_across_replication_factors() {
+    // The indexed-strip wire format composes with R_A < P: group-scoped
+    // redistributions ship strips, panel broadcasts stay dense, and the
+    // training trajectory stays bit-identical to the dense run at the
+    // same replication factor — with both volume books reconciling.
+    let ds = compressible_dataset();
+    let p = 4usize;
+    for r_a in [1usize, 2, 4] {
+        for id in [0usize, 5, 10] {
+            let base = TrainerConfig::rdm(p, Plan::from_id(id, 2, p).with_ra(r_a))
+                .hidden(8)
+                .epochs(3);
+            let dense = train_gcn(&ds, &base).unwrap();
+            let sparse = train_gcn(&ds, &base.clone().sparse()).unwrap();
+            assert_runs_reconcile(&dense, &sparse, &format!("r_a={r_a} id={id}"));
+            // Panel broadcasts are dense on both paths: byte-for-byte
+            // identical books, nonzero exactly when the grid has more
+            // than one panel.
+            for (d, s) in dense.epochs.iter().zip(&sparse.epochs) {
+                assert_eq!(
+                    d.broadcast_bytes(),
+                    s.broadcast_bytes(),
+                    "r_a={r_a} id={id}: broadcast volume diverged between wire formats"
+                );
+                assert_eq!(
+                    d.broadcast_bytes() > 0,
+                    r_a < p,
+                    "r_a={r_a} id={id}: broadcast book inconsistent with the grid"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replicated_panel_volume_reconciles_exactly_with_the_schedule_predictor() {
+    // The R_A = 2 volume gate on the bench-smoke config: measured
+    // group-redistribution and panel-broadcast bytes must equal the
+    // schedule predictor's totals *exactly*, on both CommStats books —
+    // and the predictor's totals are themselves the paper's closed-form
+    // `group_redistribution_elems` / `panel_broadcast_elems` volumes.
+    let ds = rmat_bench_dataset();
+    let (p, r_a) = (4usize, 2usize);
+    let base = TrainerConfig::rdm(p, Plan::from_id(10, 2, p).with_ra(r_a))
+        .hidden(32)
+        .epochs(2);
+    let dense = train_gcn(&ds, &base).unwrap();
+    let sparse = train_gcn(&ds, &base.clone().sparse()).unwrap();
+    assert_runs_reconcile(&dense, &sparse, "r_a=2 rmat gate");
+
+    // Predicted per-epoch totals, summed over the grid.
+    let n = ds.n();
+    let shape = GnnShape {
+        n,
+        nnz: ds.adj_norm.nnz(),
+        feats: vec![ds.spec.feature_size, 32, ds.spec.labels],
+    };
+    let config = OrderConfig::from_id(10, 2);
+    let indptr = ds.adj_norm.indptr();
+    let panel_nnz: Vec<usize> = (0..p / r_a)
+        .map(|k| {
+            let r0 = part_range(n, p, k * r_a).start;
+            let r1 = part_range(n, p, (k + 1) * r_a - 1).end;
+            indptr[r1] - indptr[r0]
+        })
+        .collect();
+    let (mut redist, mut bcast) = (0u64, 0u64);
+    for rank in 0..p {
+        for e in predict_epoch_ra(&shape, &config, true, p, r_a, rank, &panel_nnz).unwrap() {
+            match e {
+                SchedEvent::Redist {
+                    kind: TraceCollective::Redistribute,
+                    bytes,
+                    ..
+                } => redist += bytes,
+                SchedEvent::Broadcast { bytes } => bcast += bytes,
+                _ => {}
+            }
+        }
+    }
+    assert!(redist > 0 && bcast > 0, "degenerate predicted schedule");
+    for (rep, label) in [(&dense, "dense"), (&sparse, "sparse")] {
+        for ep in &rep.epochs {
+            assert_eq!(
+                ep.redistribution_dense_bytes(),
+                redist,
+                "{label} epoch {}: group-redistribution dense-equivalent book \
+                 diverged from the cost model",
+                ep.epoch
+            );
+            assert_eq!(
+                ep.broadcast_bytes(),
+                bcast,
+                "{label} epoch {}: panel-broadcast book diverged from the cost model",
+                ep.epoch
+            );
+        }
+    }
+    // The dense wire path's actual book is the dense-equivalent one.
+    for ep in &dense.epochs {
+        assert_eq!(ep.redistribution_bytes(), redist);
+    }
+
+    // Cross-check the predictor against the paper's closed forms: on this
+    // evenly-divisible config every group redistribution of a width-f
+    // matrix moves (R_A-1)/R_A·N·f elements and every panel SpMM
+    // broadcasts (P/R_A-1)·N·f. Events align index-wise across ranks
+    // (every rank runs the same control flow), so each event's grid-wide
+    // total must hit one of the per-width closed-form volumes.
+    use gnn_rdm::model::{group_redistribution_elems, panel_broadcast_elems};
+    let gre: Vec<u64> = shape
+        .feats
+        .iter()
+        .map(|&f| (group_redistribution_elems(n, f, r_a) * 4.0) as u64)
+        .collect();
+    let pbe: Vec<u64> = shape
+        .feats
+        .iter()
+        .map(|&f| (panel_broadcast_elems(n, f, p, r_a) * 4.0) as u64)
+        .collect();
+    let per_rank: Vec<Vec<SchedEvent>> = (0..p)
+        .map(|rank| predict_epoch_ra(&shape, &config, true, p, r_a, rank, &panel_nnz).unwrap())
+        .collect();
+    for (i, e) in per_rank[0].iter().enumerate() {
+        let total = |pick: fn(&SchedEvent) -> Option<u64>| -> u64 {
+            per_rank.iter().map(|ev| pick(&ev[i]).unwrap()).sum()
+        };
+        match e {
+            SchedEvent::Redist {
+                kind: TraceCollective::Redistribute,
+                ..
+            } => {
+                let sum = total(|e| match e {
+                    SchedEvent::Redist { bytes, .. } => Some(*bytes),
+                    _ => None,
+                });
+                assert!(
+                    gre.contains(&sum),
+                    "event {i}: group redistribution total {sum} matches no \
+                     (R_A-1)/R_A·N·f volume in {gre:?}"
+                );
+            }
+            SchedEvent::Broadcast { .. } => {
+                let sum = total(|e| match e {
+                    SchedEvent::Broadcast { bytes } => Some(*bytes),
+                    _ => None,
+                });
+                assert!(
+                    pbe.contains(&sum),
+                    "event {i}: panel broadcast total {sum} matches no \
+                     (P/R_A-1)·N·f volume in {pbe:?}"
+                );
+            }
+            _ => {}
+        }
+    }
 }
 
 #[test]

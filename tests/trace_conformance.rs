@@ -10,10 +10,29 @@
 use gnn_rdm::comm::FaultPlan;
 use gnn_rdm::core::gcn::GcnWeights;
 use gnn_rdm::core::{train_gcn, Plan, TrainerConfig, WeightSnapshot};
+use gnn_rdm::dense::mat::part_range;
 use gnn_rdm::graph::{Dataset, DatasetSpec};
-use gnn_rdm::model::{check_session, conformance, GnnShape, OrderConfig, SessionBatch};
+use gnn_rdm::model::{
+    check_session, check_session_ra, conformance, GnnShape, OrderConfig, SessionBatch,
+};
 use gnn_rdm::serve::{planned_batches, serve, LoadGen, ServeConfig};
 use gnn_rdm::trace::{chrome, EventData, RankTrace, Span};
+
+/// Nonzeros of each adjacency row panel of the `p/r_a × r_a` grid —
+/// panel `k` spans the contiguous row slices of ranks `[k·r_a, (k+1)·r_a)`.
+/// The data-dependent input the replicated-panel predictor cannot derive
+/// from the shape alone.
+fn panel_nnz(ds: &Dataset, p: usize, r_a: usize) -> Vec<usize> {
+    let indptr = ds.adj_norm.indptr();
+    let n = ds.n();
+    (0..p / r_a)
+        .map(|k| {
+            let r0 = part_range(n, p, k * r_a).start;
+            let r1 = part_range(n, p, (k + 1) * r_a - 1).end;
+            indptr[r1] - indptr[r0]
+        })
+        .collect()
+}
 
 fn dataset() -> Dataset {
     DatasetSpec::synthetic("conformance", 140, 1100, 16, 5).instantiate(31)
@@ -96,6 +115,119 @@ fn conformance_holds_under_overlap_and_chaos() {
             violations[0]
         );
     }
+}
+
+#[test]
+fn replicated_panel_runs_conform_across_plans_and_chaos() {
+    // R_A < P training must be explained by the grid-aware predictor:
+    // group-scoped redistribution bytes and the panel tile broadcasts,
+    // blocking and pipelined, with and without faults. Zero violations
+    // across plans × R_A ∈ {1, 2} × chaos.
+    let ds = dataset();
+    let shape = shape_of(&ds, 16);
+    let faults = FaultPlan::new(chaos_base() ^ 0xAB5E)
+        .drop_rate(0.08)
+        .delay(0.25, 3);
+    for id in [0usize, 5, 10, 15] {
+        for r_a in [1usize, 2] {
+            for (overlap, chaos) in [(None, false), (Some(3), false), (Some(3), true)] {
+                let mut cfg = TrainerConfig::rdm(4, Plan::from_id(id, 2, 4).with_ra(r_a))
+                    .hidden(16)
+                    .epochs(2);
+                if let Some(chunks) = overlap {
+                    cfg = cfg.overlap(chunks);
+                }
+                if chaos {
+                    cfg = cfg.faults(faults);
+                }
+                let traces = traced_run(&ds, cfg);
+                let config = OrderConfig::from_id(id, 2);
+                let nnz = panel_nnz(&ds, 4, r_a);
+                let violations =
+                    conformance::check_run_ra(&traces, &shape, &config, true, r_a, &nnz)
+                        .unwrap_or_else(|e| {
+                            panic!("id={id} r_a={r_a} overlap={overlap:?} chaos={chaos}: {e}")
+                        });
+                assert!(
+                    violations.is_empty(),
+                    "id={id} r_a={r_a} overlap={overlap:?} chaos={chaos}: {} violation(s), \
+                     first: {}",
+                    violations.len(),
+                    violations[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replicated_panel_corruption_yields_one_addressed_violation() {
+    // Acceptance: corrupt exactly one event of an R_A = 2 run and the
+    // checker must return exactly one violation, addressed to the rank
+    // and schedule index of the corruption.
+    let ds = dataset();
+    let shape = shape_of(&ds, 16);
+    let cfg = TrainerConfig::rdm(4, Plan::from_id(10, 2, 4).with_ra(2))
+        .hidden(16)
+        .epochs(1);
+    let mut traces = traced_run(&ds, cfg);
+    let config = OrderConfig::from_id(10, 2);
+    let nnz = panel_nnz(&ds, 4, 2);
+    assert!(
+        conformance::check_run_ra(&traces, &shape, &config, true, 2, &nnz)
+            .unwrap()
+            .is_empty()
+    );
+    // Corrupt the first SpMM span of rank 3: one wrong panel-row count.
+    let victim = traces[3]
+        .events
+        .iter_mut()
+        .find(|e| matches!(e.data, EventData::Begin(Span::Spmm { .. })))
+        .expect("rank 3 ran an SpMM");
+    if let EventData::Begin(Span::Spmm {
+        rows,
+        cols,
+        nnz,
+        width,
+    }) = victim.data
+    {
+        victim.data = EventData::Begin(Span::Spmm {
+            rows: rows + 1,
+            cols,
+            nnz,
+            width,
+        });
+    }
+    let violations = conformance::check_run_ra(&traces, &shape, &config, true, 2, &nnz).unwrap();
+    assert_eq!(
+        violations.len(),
+        1,
+        "one corrupted field must yield exactly one violation: {violations:?}"
+    );
+    assert_eq!(violations[0].rank, 3);
+    let msg = violations[0].to_string();
+    assert!(msg.contains("rank 3"), "{msg}");
+    assert!(msg.contains("expected") && msg.contains("got"), "{msg}");
+}
+
+#[test]
+fn full_replication_traces_fail_a_mismatched_grid_prediction() {
+    // The grid matters: checking an R_A = P run against an R_A = 2
+    // prediction must surface violations (panel broadcasts that never
+    // happened), not silently pass out-of-scope input.
+    let ds = dataset();
+    let shape = shape_of(&ds, 16);
+    let cfg = TrainerConfig::rdm(4, Plan::from_id(10, 2, 4))
+        .hidden(16)
+        .epochs(1);
+    let traces = traced_run(&ds, cfg);
+    let config = OrderConfig::from_id(10, 2);
+    let nnz = panel_nnz(&ds, 4, 2);
+    let violations = conformance::check_run_ra(&traces, &shape, &config, true, 2, &nnz).unwrap();
+    assert!(
+        !violations.is_empty(),
+        "a full-replication trace conformed to the R_A = 2 schedule"
+    );
 }
 
 #[test]
@@ -289,6 +421,42 @@ fn serving_conformance_survives_chaos() {
         "chaos broke serving conformance: {}",
         violations[0]
     );
+}
+
+#[test]
+fn replicated_panel_serving_sessions_conform() {
+    // Serving at R_A < P: the session predictor must explain every batch
+    // of a replicated-panel session — group redistributions, panel
+    // broadcasts flushed at the kernel span, blocking and pipelined —
+    // with zero violations (the cache stays off: it requires R_A = P).
+    let ds = dataset();
+    let snap = WeightSnapshot::from_weights(&GcnWeights::init(&[16, 10, 5], 23));
+    let shape = GnnShape {
+        n: ds.n(),
+        nnz: ds.adj_norm.nnz(),
+        feats: vec![16, 10, 5],
+    };
+    for id in [0usize, 5, 10] {
+        for r_a in [1usize, 2] {
+            for pipeline in [None, Some(3)] {
+                let mut cfg = ServeConfig::new(4);
+                cfg.plan = Some(Plan::from_id(id, 2, 4).with_ra(r_a));
+                cfg.pipeline = pipeline;
+                let (traces, batches) = traced_session(&ds, &snap, &cfg);
+                let config = OrderConfig::from_id(id, 2);
+                let nnz = panel_nnz(&ds, 4, r_a);
+                let violations =
+                    check_session_ra(&traces, &shape, &config, true, &batches, 0, r_a, &nnz)
+                        .unwrap_or_else(|e| panic!("id={id} r_a={r_a} pipeline={pipeline:?}: {e}"));
+                assert!(
+                    violations.is_empty(),
+                    "id={id} r_a={r_a} pipeline={pipeline:?}: {} violation(s), first: {}",
+                    violations.len(),
+                    violations[0]
+                );
+            }
+        }
+    }
 }
 
 #[test]
